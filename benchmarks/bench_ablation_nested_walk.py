@@ -1,0 +1,109 @@
+"""**Ablation C** — the cost of nested page-table walks (paper sections
+1 and 5.2: nested paging "requires two stages of address translation
+for every memory access, obviously consuming extra execution time").
+
+A synthetic pointer-chase sweeps a working set far larger than the TLB,
+so every access walks.  We measure cycles per access with one-stage
+translation (Native/Hypernel regime) vs two-stage (KVM regime) across
+stage-2 TLB sizes, plus the raw descriptor-fetch counts — the
+mechanistic source of the KVM column in Table 1.
+"""
+
+import random
+
+from benchmarks.conftest import bench_platform_config, save_result
+from repro.analysis.compare import format_table
+from repro.config import PAGE_BYTES
+from repro.hw.platform import Platform
+from repro.arch.cpu import CPUCore
+from repro.arch.pagetable import KERNEL_VA_BASE
+from repro.arch.registers import HCR_VM, SCTLR_M
+from tests.helpers import TableBuilder
+
+PAGES = 1024          #: working set (2x the 512-entry stage-1 TLB)
+ACCESSES = 3000
+
+
+def _build_machine(nested: bool, stage2_tlb_entries: int):
+    config = bench_platform_config()
+    config.stage2_tlb_entries = stage2_tlb_entries
+    platform = Platform(config)
+    cpu = CPUCore(platform)
+    base = config.dram_base
+    s1 = TableBuilder(platform, base + 0x100_0000)
+    for index in range(PAGES):
+        s1.map_page(KERNEL_VA_BASE + index * PAGE_BYTES,
+                    base + 0x800_0000 + index * PAGE_BYTES)
+    cpu.regs.write("TTBR1_EL1", s1.root)
+    cpu.regs.set_bits("SCTLR_EL1", SCTLR_M)
+    if nested:
+        s2 = TableBuilder(platform, base + 0x400_0000)
+        # Identity stage-2 for the tables and the data pages.
+        for index in range(0x100_0000 // PAGE_BYTES):
+            pa = base + 0x100_0000 + index * PAGE_BYTES
+            s2.map_page(pa, pa)
+            if index < (PAGES * PAGE_BYTES) // PAGE_BYTES:
+                data = base + 0x800_0000 + index * PAGE_BYTES
+                s2.map_page(data, data)
+        cpu.regs.write("VTTBR_EL2", s2.root)
+        cpu.regs.set_bits("HCR_EL2", HCR_VM)
+    return platform, cpu
+
+
+def _chase(cpu, platform, seed: int = 7) -> float:
+    rng = random.Random(seed)
+    order = [rng.randrange(PAGES) for _ in range(ACCESSES)]
+    # Warm the data caches (one line per page fits easily in L2) so the
+    # measured loop isolates the *translation* cost: the TLB working set
+    # still exceeds the 512-entry TLB, so almost every access walks.
+    for page_index in range(PAGES):
+        cpu.read(KERNEL_VA_BASE + page_index * PAGE_BYTES + 0x40)
+    start = platform.clock.now
+    for page_index in order:
+        cpu.read(KERNEL_VA_BASE + page_index * PAGE_BYTES + 0x40)
+    return (platform.clock.now - start) / ACCESSES
+
+
+def test_ablation_nested_walk_cost(benchmark):
+    results = {}
+
+    def regenerate():
+        platform, cpu = _build_machine(nested=False, stage2_tlb_entries=64)
+        results["1-stage"] = {
+            "cycles_per_access": _chase(cpu, platform),
+            "desc_fetches": cpu.mmu.stats.get("stage1_desc_fetches")
+            + cpu.mmu.stats.get("stage2_desc_fetches"),
+        }
+        for s2_entries in (16, 64, 256, 1024):
+            platform, cpu = _build_machine(True, s2_entries)
+            results[f"2-stage/s2tlb={s2_entries}"] = {
+                "cycles_per_access": _chase(cpu, platform),
+                "desc_fetches": cpu.mmu.stats.get("stage1_desc_fetches")
+                + cpu.mmu.stats.get("stage2_desc_fetches"),
+            }
+        return results
+
+    benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    rows = [
+        [name, f"{data['cycles_per_access']:.1f}", data["desc_fetches"]]
+        for name, data in results.items()
+    ]
+    text = format_table(
+        ["translation regime", "cycles/access", "descriptor fetches"], rows
+    )
+    path = save_result("ablation_nested_walk", text)
+    print("\n" + text)
+    print(f"[saved to {path}]")
+    one_stage = results["1-stage"]["cycles_per_access"]
+    worst = results["2-stage/s2tlb=16"]["cycles_per_access"]
+    best_nested = results["2-stage/s2tlb=1024"]["cycles_per_access"]
+    benchmark.extra_info["nested_penalty_small_s2tlb_x"] = round(worst / one_stage, 2)
+    benchmark.extra_info["nested_penalty_big_s2tlb_x"] = round(best_nested / one_stage, 2)
+    # Shape: nested paging always costs more; a small stage-2 TLB hurts
+    # most, and the descriptor-fetch counts expose the 2-stage blow-up.
+    assert worst > best_nested >= one_stage * 0.99
+    assert worst / one_stage > 1.15
+    fetch_ratio = (results["2-stage/s2tlb=16"]["desc_fetches"]
+                   / results["1-stage"]["desc_fetches"])
+    benchmark.extra_info["desc_fetch_blowup_x"] = round(fetch_ratio, 2)
+    assert fetch_ratio > 2.0

@@ -1,0 +1,85 @@
+"""Figure 6 runner: application benchmarks, normalized to native."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.config import PlatformConfig
+from repro.core.hypernel import build_system
+from repro.analysis import paper
+from repro.analysis.compare import arithmetic_mean, format_table
+from repro.workloads.apps import ApplicationWorkload, default_applications
+
+SYSTEMS = ["native", "kvm-guest", "hypernel"]
+
+
+@dataclass
+class Figure6Result:
+    """Measured Figure 6: app -> system -> normalized runtime."""
+
+    normalized: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    raw_us: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def average_overhead(self, system: str) -> float:
+        values = [row[system] for row in self.normalized.values()]
+        return (arithmetic_mean(values) - 1.0) * 100.0
+
+    def format(self) -> str:
+        headers = ["Benchmark"] + [f"{s} (norm.)" for s in SYSTEMS]
+        body = [
+            [app] + [f"{self.normalized[app][s]:.3f}" for s in SYSTEMS]
+            for app in self.normalized
+        ]
+        table = format_table(headers, body)
+        footer = (
+            f"\naverage overhead vs native: "
+            f"kvm-guest {self.average_overhead('kvm-guest'):+.1f}% "
+            f"(paper {paper.APP_AVG_OVERHEAD['kvm-guest']:+.1f}%), "
+            f"hypernel {self.average_overhead('hypernel'):+.1f}% "
+            f"(paper {paper.APP_AVG_OVERHEAD['hypernel']:+.1f}%)"
+        )
+        return table + "\n" + self.ascii_chart() + footer
+
+    def ascii_chart(self, width: int = 48) -> str:
+        """A bar chart of normalized runtimes (the Figure 6 visual)."""
+        lines = ["normalized execution time (native = 1.0)"]
+        peak = max(
+            value for row in self.normalized.values() for value in row.values()
+        )
+        for app, row in self.normalized.items():
+            for system in SYSTEMS:
+                bar = "#" * max(1, int(row[system] / peak * width))
+                lines.append(f"{app:>10s} {system:>9s} |{bar} {row[system]:.3f}")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def run_figure6(
+    scale: float = 0.25,
+    platform_factory: Optional[Callable[[], PlatformConfig]] = None,
+    apps: Optional[List[ApplicationWorkload]] = None,
+) -> Figure6Result:
+    """Run each application on each system; normalize to native."""
+    result = Figure6Result()
+    apps = apps if apps is not None else default_applications(scale)
+    for system_name in SYSTEMS:
+        kwargs = {}
+        if platform_factory is not None:
+            kwargs["platform_config"] = platform_factory()
+        if system_name == "hypernel":
+            kwargs["with_mbm"] = False  # paper 7.1: only Hypersec active
+        if system_name == "kvm-guest":
+            kwargs["prepopulate_stage2"] = True  # steady-state guest
+        system = build_system(system_name, **kwargs)
+        shell = system.spawn_init()
+        for app in apps:
+            app.prepare(system, shell)
+            run = app.run(system, shell)
+            result.raw_us.setdefault(app.name, {})[system_name] = run.microseconds
+    for app_name, row in result.raw_us.items():
+        native = row["native"]
+        result.normalized[app_name] = {
+            system: row[system] / native for system in SYSTEMS
+        }
+    return result

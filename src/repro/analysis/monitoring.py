@@ -1,0 +1,109 @@
+"""Table 2 runner: word- vs page-granularity monitoring trap counts.
+
+Reproduces the paper's section 7.2 methodology exactly:
+
+* **word granularity** — the cred and dentry monitors register only the
+  sensitive fields of their objects; every MBM detection is one trap.
+* **page granularity (estimated)** — a second configuration registers
+  the *entire* objects; its detection count equals the permission
+  faults a page-granularity (stage-2 read-only) framework would take
+  if the target objects were aggregated onto monitored pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.config import PlatformConfig
+from repro.core.hypernel import build_hypernel
+from repro.analysis import paper
+from repro.analysis.compare import format_table
+from repro.security.baseline_page import WholeObjectMonitor
+from repro.security.cred_monitor import CredIntegrityMonitor
+from repro.security.dentry_monitor import DentryIntegrityMonitor
+from repro.workloads.apps import ApplicationWorkload, default_applications
+
+GRANULARITIES = ["page", "word"]
+
+
+@dataclass
+class Table2Result:
+    """Measured Table 2: app -> granularity -> trap count."""
+
+    counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    scale: float = 1.0
+
+    def ratio_percent(self, app: str) -> float:
+        row = self.counts[app]
+        if row["page"] == 0:
+            return 0.0
+        return row["word"] / row["page"] * 100.0
+
+    def mean_ratio_percent(self) -> float:
+        total_word = sum(row["word"] for row in self.counts.values())
+        total_page = sum(row["page"] for row in self.counts.values())
+        if total_page == 0:
+            return 0.0
+        return total_word / total_page * 100.0
+
+    def format(self, include_paper: bool = True) -> str:
+        headers = ["benchmark", "page-granularity", "word-granularity", "ratio"]
+        if include_paper:
+            headers += ["paper page", "paper word", "paper ratio"]
+        body = []
+        for app, row in self.counts.items():
+            line = [
+                app,
+                str(row["page"]),
+                str(row["word"]),
+                f"{self.ratio_percent(app):.1f}%",
+            ]
+            if include_paper and app in paper.TABLE2:
+                p = paper.TABLE2[app]
+                line += [str(p["page"]), str(p["word"]),
+                         f"{p['word'] / p['page'] * 100:.1f}%"]
+            body.append(line)
+        table = format_table(headers, body)
+        footer = (
+            f"\noverall word/page ratio: {self.mean_ratio_percent():.1f}% "
+            f"(paper: {paper.TABLE2_MEAN_RATIO:.1f}%)"
+            f"   [workload scale = {self.scale}]"
+        )
+        return table + footer
+
+
+def _word_granularity_monitors():
+    return [CredIntegrityMonitor(), DentryIntegrityMonitor()]
+
+
+def _page_granularity_monitors():
+    return [WholeObjectMonitor(("cred", "dentry"))]
+
+
+def run_table2(
+    scale: float = 0.25,
+    platform_factory: Optional[Callable[[], PlatformConfig]] = None,
+    apps: Optional[List[ApplicationWorkload]] = None,
+) -> Table2Result:
+    """Run the five applications under both monitoring configurations."""
+    result = Table2Result(scale=scale)
+    for granularity in GRANULARITIES:
+        monitors = (
+            _page_granularity_monitors()
+            if granularity == "page"
+            else _word_granularity_monitors()
+        )
+        kwargs = {}
+        if platform_factory is not None:
+            kwargs["platform_config"] = platform_factory()
+        system = build_hypernel(with_mbm=True, monitors=monitors, **kwargs)
+        shell = system.spawn_init()
+        run_apps = apps if apps is not None else default_applications(scale)
+        for app in run_apps:
+            app.prepare(system, shell)
+            before = system.mbm.events_detected
+            app.run(system, shell)
+            delta = system.mbm.events_detected - before
+            result.counts.setdefault(app.name, {})[granularity] = delta
+    return result

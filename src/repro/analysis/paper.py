@@ -1,0 +1,37 @@
+"""The values reported in the paper (for comparison output).
+
+Source: Kwon et al., "Hypernel: A Hardware-Assisted Framework for Kernel
+Protection without Nested Paging", DAC 2018 — Tables 1, 2 and the
+Figure 6 / section 7.1.1 averages.
+"""
+
+#: Table 1: LMbench kernel-operation latencies (µs).
+TABLE1 = {
+    "syscall stat": {"native": 1.92, "kvm-guest": 1.83, "hypernel": 1.94},
+    "signal install": {"native": 0.68, "kvm-guest": 0.75, "hypernel": 0.68},
+    "signal ovh": {"native": 2.96, "kvm-guest": 3.38, "hypernel": 2.98},
+    "pipe lat": {"native": 10.07, "kvm-guest": 11.45, "hypernel": 10.68},
+    "socket lat": {"native": 13.76, "kvm-guest": 16.08, "hypernel": 14.51},
+    "fork+exit": {"native": 271.68, "kvm-guest": 337.84, "hypernel": 314.77},
+    "fork+execv": {"native": 285.53, "kvm-guest": 351.81, "hypernel": 340.70},
+    "page fault": {"native": 1.57, "kvm-guest": 1.98, "hypernel": 1.89},
+    "mmap": {"native": 24.60, "kvm-guest": 28.40, "hypernel": 27.50},
+}
+
+#: Section 7.1.1: average LMbench slowdown vs native (%).
+LMBENCH_AVG_OVERHEAD = {"kvm-guest": 15.5, "hypernel": 8.8}
+
+#: Figure 6 / section 7.1.2: average application overhead vs native (%).
+APP_AVG_OVERHEAD = {"kvm-guest": 13.5, "hypernel": 3.1}
+
+#: Table 2: MBM trap counts, page- vs word-granularity monitoring.
+TABLE2 = {
+    "whetstone": {"page": 525, "word": 48},
+    "dhrystone": {"page": 637, "word": 39},
+    "untar": {"page": 2_173_870, "word": 96_467},
+    "iozone": {"page": 1_510, "word": 117},
+    "apache": {"page": 48_650, "word": 1_754},
+}
+
+#: Section 7.2: overall word/page trap ratio (%).
+TABLE2_MEAN_RATIO = 6.2

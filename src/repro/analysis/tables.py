@@ -1,0 +1,76 @@
+"""Table 1 runner: LMbench kernel operations on the three systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.config import PlatformConfig
+from repro.core.hypernel import build_system
+from repro.analysis import paper
+from repro.analysis.compare import arithmetic_mean, format_table, overhead_percent
+from repro.workloads.lmbench import LMBENCH_OPS, LmbenchSuite
+
+SYSTEMS = ["native", "kvm-guest", "hypernel"]
+
+
+@dataclass
+class Table1Result:
+    """Measured Table 1: op -> system -> µs."""
+
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def average_overhead(self, system: str) -> float:
+        """Average slowdown vs native over all ops (paper section 7.1.1)."""
+        overheads = [
+            overhead_percent(values[system], values["native"])
+            for values in self.rows.values()
+        ]
+        return arithmetic_mean(overheads)
+
+    def format(self, include_paper: bool = True) -> str:
+        headers = ["Test"] + [f"{s} (µs)" for s in SYSTEMS]
+        if include_paper:
+            headers += [f"paper {s}" for s in SYSTEMS]
+        body = []
+        for op in LMBENCH_OPS:
+            row = [op] + [f"{self.rows[op][s]:.2f}" for s in SYSTEMS]
+            if include_paper:
+                row += [f"{paper.TABLE1[op][s]:.2f}" for s in SYSTEMS]
+            body.append(row)
+        table = format_table(headers, body)
+        footer = (
+            f"\naverage overhead vs native: "
+            f"kvm-guest {self.average_overhead('kvm-guest'):+.1f}% "
+            f"(paper {paper.LMBENCH_AVG_OVERHEAD['kvm-guest']:+.1f}%), "
+            f"hypernel {self.average_overhead('hypernel'):+.1f}% "
+            f"(paper {paper.LMBENCH_AVG_OVERHEAD['hypernel']:+.1f}%)"
+        )
+        return table + footer
+
+
+def run_table1(
+    platform_factory: Optional[Callable[[], PlatformConfig]] = None,
+    warmup: int = 4,
+    iterations: int = 16,
+    ops: Optional[List[str]] = None,
+) -> Table1Result:
+    """Build each system, run the LMbench suite, collect Table 1."""
+    ops = ops or LMBENCH_OPS
+    result = Table1Result(rows={op: {} for op in ops})
+    for system_name in SYSTEMS:
+        kwargs = {}
+        if platform_factory is not None:
+            kwargs["platform_config"] = platform_factory()
+        if system_name == "hypernel":
+            kwargs["with_mbm"] = False  # paper 7.1: only Hypersec active
+        if system_name == "kvm-guest":
+            # Steady-state measurement: a long-running guest has its
+            # memory stage-2-mapped already (cold faults are boot noise).
+            kwargs["prepopulate_stage2"] = True
+        system = build_system(system_name, **kwargs)
+        suite = LmbenchSuite(system, warmup=warmup, iterations=iterations)
+        suite.setup()
+        for op in ops:
+            result.rows[op][system_name] = suite.run_op(op).microseconds
+    return result

@@ -1,0 +1,65 @@
+"""Architecture layer: an AArch64-flavoured machine model.
+
+Models the subset of the 64-bit ARM architecture that Hypernel depends
+on (paper section 3): exception levels EL0/EL1/EL2, the virtualization
+extension (HVC hypercalls, HCR_EL2.TVM instruction trapping, optional
+stage-2 translation), and a 3-level 4 KB-granule translation regime with
+TTBR0/TTBR1 split — the layout Linux 3.10 used on AArch64 (39-bit VAs).
+"""
+
+from repro.arch.cpu import CPUCore
+from repro.arch.exceptions import EL0, EL1, EL2, EL2Vector
+from repro.arch.mmu import MMU, TLB, TranslationResult
+from repro.arch.pagetable import (
+    DESC_AP_WRITE,
+    DESC_COW,
+    DESC_NC,
+    DESC_TABLE,
+    DESC_USER,
+    DESC_VALID,
+    DESC_XN,
+    Descriptor,
+    KERNEL_VA_BASE,
+    LEVELS,
+    USER_VA_LIMIT,
+    index_for_level,
+    make_block_desc,
+    make_page_desc,
+    make_table_desc,
+)
+from repro.arch.registers import (
+    HCR_TVM,
+    HCR_VM,
+    SystemRegisters,
+    VM_CONTROL_REGISTERS,
+)
+
+__all__ = [
+    "CPUCore",
+    "DESC_AP_WRITE",
+    "DESC_COW",
+    "DESC_NC",
+    "DESC_TABLE",
+    "DESC_USER",
+    "DESC_VALID",
+    "DESC_XN",
+    "Descriptor",
+    "EL0",
+    "EL1",
+    "EL2",
+    "EL2Vector",
+    "HCR_TVM",
+    "HCR_VM",
+    "KERNEL_VA_BASE",
+    "LEVELS",
+    "MMU",
+    "SystemRegisters",
+    "TLB",
+    "TranslationResult",
+    "USER_VA_LIMIT",
+    "VM_CONTROL_REGISTERS",
+    "index_for_level",
+    "make_block_desc",
+    "make_page_desc",
+    "make_table_desc",
+]

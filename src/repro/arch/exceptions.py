@@ -1,0 +1,48 @@
+"""Exception levels and the EL2 vector interface.
+
+Paper Figure 1: user applications run at EL0, the kernel at EL1, and the
+hypervisor-privilege software (KVM, or Hypernel's Hypersec) at EL2.
+
+Anything installed at EL2 implements :class:`EL2Vector`; the CPU model
+routes hypercalls (HVC), trapped system-register writes (HCR_EL2.TVM)
+and stage-2 faults to it, charging the architectural transition costs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import Stage2Fault
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.arch.cpu import CPUCore
+
+EL0 = 0  #: user applications
+EL1 = 1  #: OS kernel
+EL2 = 2  #: hypervisor / Hypersec
+
+
+class EL2Vector(abc.ABC):
+    """Handlers for the synchronous exceptions taken to EL2."""
+
+    @abc.abstractmethod
+    def handle_hvc(self, cpu: "CPUCore", func: int, args: Sequence[int]) -> int:
+        """Service hypercall ``func`` with ``args``; return a result word."""
+
+    @abc.abstractmethod
+    def handle_trapped_msr(self, cpu: "CPUCore", register: str, value: int) -> None:
+        """Service an EL1 write to a trapped VM-control register.
+
+        The handler decides whether to perform the write (via
+        ``cpu.regs.write``) or reject it (raising
+        :class:`~repro.errors.SecurityViolation`).
+        """
+
+    def handle_stage2_fault(self, cpu: "CPUCore", fault: Stage2Fault) -> None:
+        """Service a stage-2 fault (nested-paging configurations only).
+
+        The default raises: an EL2 resident that never enables stage 2
+        (Hypersec) should never see one.
+        """
+        raise fault

@@ -1,0 +1,51 @@
+"""Attack scenarios for validating the security claims.
+
+Each attack models an adversary who, per the paper's threat model
+(section 4), "could successfully exploit any existing kernel
+vulnerabilities to alter the kernel memory" — i.e. has arbitrary
+read/write at kernel privilege and can execute privileged instructions
+— but cannot break secure boot, EL2 or physical isolation.
+
+Every scenario runs against any system configuration and reports an
+:class:`~repro.attacks.base.AttackOutcome` (did the state change? was it
+blocked? was it detected?), so the test suite can assert the exact
+protection matrix the paper claims:
+
+========================  ========  ==========  =================
+attack                     native    hypernel    external-only MBM
+========================  ========  ==========  =================
+cred escalation            success   detected    detected
+dentry hijack              success   detected    detected
+page-table tamper          success   blocked     success
+TTBR switch                success   blocked     success
+MMU disable                success   blocked     success
+ATRA                       success   blocked     **bypassed**
+DMA into secure region     success   detected*   n/a
+========================  ========  ==========  =================
+
+(*) via the MBM's bus-level tamper watch; fully *prevented* when the
+IOMMU extension is enabled (paper Discussion section).
+"""
+
+from repro.attacks.atra import AtraAttack
+from repro.attacks.base import AttackOutcome
+from repro.attacks.dma import DmaAttack
+from repro.attacks.pgtable import (
+    HypercallAbuseAttack,
+    MmuDisableAttack,
+    PageTableTamperAttack,
+    TtbrSwitchAttack,
+)
+from repro.attacks.rootkit import CredEscalationAttack, DentryHijackAttack
+
+__all__ = [
+    "AtraAttack",
+    "AttackOutcome",
+    "CredEscalationAttack",
+    "DentryHijackAttack",
+    "DmaAttack",
+    "HypercallAbuseAttack",
+    "MmuDisableAttack",
+    "PageTableTamperAttack",
+    "TtbrSwitchAttack",
+]

@@ -1,0 +1,96 @@
+"""ATRA: the Address Translation Redirection Attack (Jang et al.,
+CCS'14), cited by the paper as the defining weakness of stand-alone
+external monitors (sections 2 and 5.3).
+
+The attacker relocates the kernel's *mapping* of a monitored object:
+
+1. copy the victim object's page to an attacker-controlled frame,
+2. rewrite the kernel linear-map PTE so the object's kernel virtual
+   address now translates to the copy,
+3. modify the copy at leisure.
+
+A bus monitor configured with the victim's original *physical* address
+keeps watching a frame the kernel no longer uses — total bypass.  Under
+Hypernel the PTE rewrite itself is impossible: the table is read-only
+and the hypercall route refuses to redirect a monitored region
+(``atra_remap`` policy in :class:`~repro.core.hypersec.Hypersec`).
+"""
+
+from __future__ import annotations
+
+from repro.config import PAGE_BYTES, PAGE_WORDS
+from repro.errors import PermissionFault
+from repro.core.hypercalls import HVC_DENIED, HVC_PGTABLE_WRITE
+from repro.core.hypernel import System
+from repro.kernel.objects import CRED
+from repro.kernel.process import Task
+from repro.arch.pagetable import Descriptor
+from repro.attacks.base import AttackOutcome
+from repro.utils.bitops import align_down
+
+
+class AtraAttack:
+    """Relocate the page holding a victim cred, then escalate the copy."""
+
+    name = "atra"
+
+    def mount(self, system: System, victim: Task) -> AttackOutcome:
+        kernel = system.kernel
+        outcome = AttackOutcome(self.name, False, False, False)
+        victim_page = align_down(victim.cred_pa, PAGE_BYTES)
+        offset_in_page = victim.cred_pa - victim_page
+        # Step 1: the attacker's shadow frame, with a verbatim copy.
+        shadow_page = kernel.allocator.alloc("attacker")
+        system.platform.memory.copy_words(victim_page, shadow_page, PAGE_WORDS)
+        # Step 2: redirect the linear-map leaf for the victim page.
+        desc_addr, level = kernel.linear_map.leaf_desc_addr(victim_page)
+        if level != 3:
+            outcome.note(
+                "linear map uses 2 MB sections here; ATRA needs the 4 KB "
+                "page-mode map (build the system with linear_map_mode='page')"
+            )
+            return outcome
+        old_desc = Descriptor(system.platform.bus.peek(desc_addr))
+        new_desc = (old_desc.raw & (PAGE_BYTES - 1)) | shadow_page
+        redirected = False
+        try:
+            kernel.cpu.write(kernel.linear_map.kva(desc_addr), new_desc)
+            redirected = True
+            outcome.note("PTE redirected by direct write")
+        except PermissionFault:
+            outcome.note("direct PTE write faulted (read-only tables)")
+            if system.hypersec is not None:
+                result = kernel.cpu.hvc(
+                    HVC_PGTABLE_WRITE, desc_addr, new_desc, 3
+                )
+                if result == HVC_DENIED:
+                    outcome.blocked = True
+                    outcome.detected = True
+                    outcome.note("hypercall redirect denied (atra_remap)")
+                else:
+                    redirected = True
+                    outcome.note("hypercall redirect ACCEPTED (policy hole!)")
+            else:
+                outcome.blocked = True
+        if not redirected:
+            return outcome
+        kernel.cpu.tlbi_va(kernel.linear_map.kva(victim_page))
+        # Step 3: escalate through the now-redirected kernel VA.
+        uid_kva = kernel.linear_map.kva(
+            victim_page + offset_in_page + CRED.field("uid").byte_offset
+        )
+        kernel.cpu.write(uid_kva, 0)
+        kernel.cpu.write(uid_kva + CRED.field("euid").byte_offset
+                         - CRED.field("uid").byte_offset, 0)
+        # Attack succeeded if the value the kernel now *sees* is root
+        # while the original (monitored) frame is untouched.
+        seen_uid = kernel.cpu.read(uid_kva)
+        original_uid = system.platform.bus.peek(
+            victim_page + offset_in_page + CRED.field("uid").byte_offset
+        )
+        outcome.succeeded = seen_uid == 0
+        outcome.note(
+            f"kernel-visible uid={seen_uid}, original frame uid="
+            f"{original_uid} (monitor watches the original)"
+        )
+        return outcome

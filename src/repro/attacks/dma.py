@@ -1,0 +1,54 @@
+"""DMA attack on the secure region (paper Discussion section).
+
+A compromised driver programs a bus-mastering device to overwrite the
+MBM bitmap inside the secure space, disabling monitoring without any
+CPU-side trace.  Outcomes:
+
+* no IOMMU: the write lands (attack succeeds) — but the MBM, which
+  snoops *all* bus traffic, flags the non-CPU write into the secure
+  range (detection, the paper's "we expect that Hypernel can detect
+  such an attack").
+* IOMMU enabled: the transfer faults before reaching the bus (blocked).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SecurityViolation
+from repro.core.hypernel import System
+from repro.hw.dma import DmaEngine, Iommu
+from repro.attacks.base import AttackOutcome
+
+
+class DmaAttack:
+    """Blast zeros over the start of the MBM bitmap via DMA."""
+
+    name = "dma_secure_write"
+
+    def mount(self, system: System, iommu: Optional[Iommu] = None) -> AttackOutcome:
+        outcome = AttackOutcome(self.name, False, False, False)
+        engine = DmaEngine(system.platform.bus, iommu)
+        if system.mbm is not None:
+            target = system.mbm.bitmap.bitmap_base
+        else:
+            target = system.platform.secure_base + 0x10000
+        alerts = []
+        if system.mbm is not None:
+            system.mbm.tamper_alert.subscribe(lambda txn: alerts.append(txn))
+            hazards_before = system.mbm.snooper.stats.get("secure_tamper_writes")
+        original = system.platform.bus.peek(target)
+        try:
+            engine.write_word(target, 0)
+            outcome.succeeded = system.platform.bus.peek(target) != original or original == 0
+            outcome.note(f"DMA write reached {target:#x}")
+        except SecurityViolation as violation:
+            outcome.blocked = True
+            outcome.note(f"IOMMU refused the transfer: {violation}")
+        if system.mbm is not None:
+            outcome.detected = (
+                bool(alerts)
+                or system.mbm.snooper.stats.get("secure_tamper_writes")
+                > hazards_before
+            )
+        return outcome

@@ -1,0 +1,141 @@
+"""Attacks on the translation machinery (paper sections 5.2.1 / 5.2.2).
+
+Under Hypernel the kernel page tables are read-only to EL1 and the
+VM-control registers trap to Hypersec, so every scenario here should be
+*blocked* there while succeeding on the unprotected native system.
+"""
+
+from __future__ import annotations
+
+from repro.config import PAGE_WORDS
+from repro.errors import PermissionFault, SecurityViolation
+from repro.core.hypercalls import HVC_DENIED, HVC_PGTABLE_WRITE
+from repro.core.hypernel import System
+from repro.arch.pagetable import make_page_desc
+from repro.arch.registers import SCTLR_M
+from repro.attacks.base import AttackOutcome
+
+
+class PageTableTamperAttack:
+    """Map the secure region into the kernel address space.
+
+    Tries the direct route (write a rogue leaf descriptor into a live
+    kernel table) and, if that faults, the 'confused deputy' route (ask
+    Hypersec to do it via the page-table hypercall).
+    """
+
+    name = "pgtable_tamper"
+
+    def mount(self, system: System) -> AttackOutcome:
+        kernel = system.kernel
+        outcome = AttackOutcome(self.name, False, False, False)
+        secure_page = system.platform.secure_base  # juicy target
+        rogue_desc = make_page_desc(secure_page, writable=True)
+        # Find a live L3 table of the current process to poison.
+        mm = kernel.procs.current.mm
+        l3_tables = [pa for path, pa in mm.tables.items() if len(path) == 2]
+        target_table = l3_tables[0]
+        desc_pa = target_table + 17 * 8  # arbitrary unused slot
+        try:
+            kernel.cpu.write(kernel.linear_map.kva(desc_pa), rogue_desc)
+            outcome.succeeded = True
+            outcome.note("direct descriptor write went through")
+        except PermissionFault:
+            outcome.blocked = True
+            outcome.detected = True  # the RO fault is attributable
+            outcome.note("direct write faulted: tables are read-only")
+            # Plan B: ask Hypersec directly.
+            if system.hypersec is not None:
+                result = kernel.cpu.hvc(
+                    HVC_PGTABLE_WRITE, desc_pa, rogue_desc, 3
+                )
+                if result == HVC_DENIED:
+                    outcome.note("hypercall route denied by Hypersec")
+                else:
+                    outcome.succeeded = True
+                    outcome.blocked = False
+                    outcome.note("hypercall route ACCEPTED (policy hole!)")
+        return outcome
+
+
+class TtbrSwitchAttack:
+    """Switch TTBR0_EL1 to an attacker-built page table."""
+
+    name = "ttbr_switch"
+
+    def mount(self, system: System) -> AttackOutcome:
+        kernel = system.kernel
+        outcome = AttackOutcome(self.name, False, False, False)
+        saved = kernel.cpu.mrs("TTBR0_EL1")
+        # Build a rogue root: one zeroed page the attacker controls.
+        rogue_root = kernel.allocator.alloc("attacker")
+        system.platform.memory.fill(rogue_root, PAGE_WORDS, 0)
+        try:
+            kernel.cpu.msr("TTBR0_EL1", rogue_root)
+            outcome.succeeded = kernel.cpu.mrs("TTBR0_EL1") == rogue_root
+            outcome.note("TTBR0 now points at the rogue table")
+            kernel.cpu.msr("TTBR0_EL1", saved)  # restore for the harness
+        except SecurityViolation as violation:
+            outcome.blocked = True
+            outcome.detected = True
+            outcome.note(f"trapped and refused: {violation}")
+        return outcome
+
+
+class MmuDisableAttack:
+    """Clear SCTLR_EL1.M to turn off stage-1 translation entirely."""
+
+    name = "mmu_disable"
+
+    def mount(self, system: System) -> AttackOutcome:
+        kernel = system.kernel
+        outcome = AttackOutcome(self.name, False, False, False)
+        saved = kernel.cpu.mrs("SCTLR_EL1")
+        try:
+            kernel.cpu.msr("SCTLR_EL1", saved & ~SCTLR_M)
+            outcome.succeeded = not kernel.cpu.regs.mmu_enabled
+            kernel.cpu.msr("SCTLR_EL1", saved)
+            outcome.note("MMU was disabled from EL1")
+        except SecurityViolation as violation:
+            outcome.blocked = True
+            outcome.detected = True
+            outcome.note(f"trapped and refused: {violation}")
+        return outcome
+
+
+class HypercallAbuseAttack:
+    """Feed Hypersec hostile hypercall arguments.
+
+    Tries to (a) register a secure-region page as a 'page table' and
+    (b) use the granularity-gap write emulation against a table page.
+    Both must be denied.
+    """
+
+    name = "hypercall_abuse"
+
+    def mount(self, system: System) -> AttackOutcome:
+        from repro.core.hypercalls import (
+            HVC_EMULATE_WRITE,
+            HVC_PGTABLE_ALLOC,
+        )
+
+        kernel = system.kernel
+        outcome = AttackOutcome(self.name, False, False, False)
+        if system.hypersec is None:
+            outcome.note("no Hypersec installed: nothing to abuse")
+            return outcome
+        denied = 0
+        if kernel.cpu.hvc(
+            HVC_PGTABLE_ALLOC, system.platform.secure_base, 0
+        ) == HVC_DENIED:
+            denied += 1
+        table = next(iter(system.hypersec.table_pages))
+        if kernel.cpu.hvc(
+            HVC_EMULATE_WRITE, table + 8, make_page_desc(system.platform.secure_base)
+        ) == HVC_DENIED:
+            denied += 1
+        outcome.blocked = denied == 2
+        outcome.detected = denied > 0
+        outcome.succeeded = denied < 2
+        outcome.note(f"{denied}/2 hostile hypercalls denied")
+        return outcome

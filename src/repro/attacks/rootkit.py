@@ -1,0 +1,74 @@
+"""Rootkit-style direct data attacks on cred and dentry objects.
+
+Paper footnote 2: "Modifying the cred structure allows the attacker to
+elevate any process to have root permission, while seizing the control
+of a dentry enables the attacker to access its inode and manipulate it."
+
+The attacker has an arbitrary kernel write primitive; the writes go
+through the CPU like any other store, so when the target words are
+monitored (non-cacheable page + bitmap bit) the MBM observes them and
+the security application's shadow check flags the mismatch.
+"""
+
+from __future__ import annotations
+
+from repro.core.hypernel import System
+from repro.kernel.objects import CRED, DENTRY
+from repro.kernel.process import Task
+from repro.attacks.base import AttackOutcome, alert_count
+
+
+class CredEscalationAttack:
+    """Overwrite a victim task's uid/euid words with 0 (root)."""
+
+    name = "cred_escalation"
+
+    def mount(self, system: System, victim: Task) -> AttackOutcome:
+        kernel = system.kernel
+        outcome = AttackOutcome(self.name, False, False, False)
+        alerts_before = alert_count(system)
+        targets = ["uid", "euid", "fsuid"]
+        for field_name in targets:
+            word_pa = victim.cred_pa + CRED.field(field_name).byte_offset
+            # The exploit's arbitrary write: plain store, no kernel path.
+            kernel.cpu.write(kernel.linear_map.kva(word_pa), 0)
+        escalated = all(
+            system.platform.bus.peek(
+                victim.cred_pa + CRED.field(name).byte_offset
+            ) == 0
+            for name in targets
+        )
+        outcome.succeeded = escalated
+        outcome.detected = alert_count(system) > alerts_before
+        outcome.note(
+            f"victim pid {victim.pid}: uid words "
+            f"{'zeroed' if escalated else 'unchanged'}"
+        )
+        return outcome
+
+
+class DentryHijackAttack:
+    """Point a victim dentry's d_inode at an attacker-controlled inode."""
+
+    name = "dentry_hijack"
+
+    def mount(self, system: System, victim_path: str) -> AttackOutcome:
+        kernel = system.kernel
+        outcome = AttackOutcome(self.name, False, False, False)
+        node = kernel.vfs.lookup(victim_path)
+        if node is None:
+            raise ValueError(f"no such path: {victim_path}")
+        alerts_before = alert_count(system)
+        # The attacker's rogue inode: any attacker-known kernel address.
+        rogue_inode = kernel.allocator.alloc("attacker")
+        word_pa = node.dentry_pa + DENTRY.field("d_inode").byte_offset
+        kernel.cpu.write(kernel.linear_map.kva(word_pa), rogue_inode)
+        outcome.succeeded = (
+            system.platform.bus.peek(word_pa) == rogue_inode
+        )
+        outcome.detected = alert_count(system) > alerts_before
+        outcome.note(
+            f"{victim_path}: d_inode -> {rogue_inode:#x} "
+            f"({'applied' if outcome.succeeded else 'unchanged'})"
+        )
+        return outcome

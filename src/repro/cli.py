@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — describe the simulated platform and the three system
+  configurations.
+* ``table1`` — regenerate Table 1 (LMbench kernel operations).
+* ``figure6`` — regenerate Figure 6 (application benchmarks).
+* ``table2`` — regenerate Table 2 (monitoring granularity).
+* ``attacks`` — run the attack/protection matrix and print verdicts.
+* ``audit`` — build a monitored Hypernel system, run a workload and
+  verify every security invariant against live machine state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import PlatformConfig
+
+
+def _platform_config(args) -> PlatformConfig:
+    return PlatformConfig(
+        dram_bytes=args.dram_mb * 1024 * 1024,
+        secure_bytes=max(16, args.dram_mb // 8) * 1024 * 1024,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dram-mb", type=int, default=192,
+                        help="simulated DRAM size in MB (default 192)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="workload scale factor (default 0.25)")
+
+
+def cmd_info(args) -> int:
+    from repro.core.hypernel import build_system
+
+    config = _platform_config(args)
+    print("Hypernel reproduction — simulated platform")
+    print(f"  CPU: Cortex-A57-like @ {config.cpu_freq_hz / 1e9:.2f} GHz")
+    print(f"  DRAM: {config.dram_bytes // (1 << 20)} MB at {config.dram_base:#x}")
+    print(f"  secure region: {config.secure_bytes // (1 << 20)} MB at "
+          f"{config.secure_base:#x}")
+    print(f"  TLB: {config.tlb_entries} entries; stage-2 TLB: "
+          f"{config.stage2_tlb_entries}")
+    print(f"  caches: L1 {config.l1_bytes >> 10} KB / L2 {config.l2_bytes >> 20} MB")
+    print()
+    for name in ("native", "kvm-guest", "hypernel"):
+        system = build_system(name, platform_config=_platform_config(args))
+        system.spawn_init()
+        print(f"  {name:10s} linear map: {system.kernel.linear_map.mode:8s}"
+              f" stage2: {str(system.cpu.regs.stage2_enabled):5s}"
+              f" TVM: {system.cpu.regs.tvm_enabled}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.analysis.tables import run_table1
+
+    result = run_table1(platform_factory=lambda: _platform_config(args))
+    print(result.format())
+    return 0
+
+
+def cmd_figure6(args) -> int:
+    from repro.analysis.figures import run_figure6
+
+    result = run_figure6(
+        scale=args.scale, platform_factory=lambda: _platform_config(args)
+    )
+    print(result.format())
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.analysis.monitoring import run_table2
+
+    result = run_table2(
+        scale=args.scale, platform_factory=lambda: _platform_config(args)
+    )
+    print(result.format())
+    return 0
+
+
+def cmd_attacks(args) -> int:
+    from repro.core.hypernel import build_hypernel, build_native
+    from repro.kernel.kernel import KernelConfig
+    from repro.security import CredIntegrityMonitor, DentryIntegrityMonitor
+    from repro.attacks import (
+        AtraAttack,
+        CredEscalationAttack,
+        DentryHijackAttack,
+        DmaAttack,
+        HypercallAbuseAttack,
+        MmuDisableAttack,
+        PageTableTamperAttack,
+        TtbrSwitchAttack,
+    )
+
+    def victim_on(system):
+        kernel = system.kernel
+        init = system.spawn_init()
+        target = kernel.sys.fork(init)
+        kernel.procs.context_switch(target)
+        kernel.sys.setuid(target, 1000)
+        kernel.vfs.mkdir_p("/etc")
+        kernel.sys.creat(target, "/etc/passwd")
+        return target
+
+    builders = {
+        "native": lambda: build_native(
+            platform_config=_platform_config(args),
+            kernel_config=KernelConfig(linear_map_mode="page"),
+        ),
+        "hypernel": lambda: build_hypernel(
+            platform_config=_platform_config(args),
+            monitors=[CredIntegrityMonitor(), DentryIntegrityMonitor()],
+        ),
+    }
+    for system_name, builder in builders.items():
+        system = builder()
+        victim = victim_on(system)
+        print(f"\n=== {system_name} ===")
+        scenarios = [
+            CredEscalationAttack().mount(system, victim),
+            DentryHijackAttack().mount(system, "/etc/passwd"),
+            PageTableTamperAttack().mount(system),
+            TtbrSwitchAttack().mount(system),
+            MmuDisableAttack().mount(system),
+            HypercallAbuseAttack().mount(system),
+            AtraAttack().mount(system, victim),
+            DmaAttack().mount(system),
+        ]
+        for outcome in scenarios:
+            verdict = ("BLOCKED" if outcome.blocked
+                       else "detected" if outcome.detected
+                       else "SILENT SUCCESS")
+            print(f"  {outcome.attack:18s} {verdict}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    print(generate_report(
+        scale=args.scale,
+        platform_factory=lambda: _platform_config(args),
+    ))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    from repro.core.hypernel import build_hypernel
+    from repro.security import CredIntegrityMonitor, DentryIntegrityMonitor
+    from repro.workloads.apps import UntarWorkload
+
+    system = build_hypernel(
+        platform_config=_platform_config(args),
+        monitors=[CredIntegrityMonitor(), DentryIntegrityMonitor()],
+    )
+    shell = system.spawn_init()
+    print("running a workload under full monitoring ...")
+    app = UntarWorkload(args.scale)
+    app.prepare(system, shell)
+    app.run(system, shell)
+    print(f"  MBM events: {system.mbm.events_detected}, alerts: "
+          f"{sum(len(m.alerts) for m in system.monitors)}")
+    report = system.hypersec.audit()
+    print(report)
+    return 0 if report.clean else 1
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "table1": cmd_table1,
+    "figure6": cmd_figure6,
+    "table2": cmd_table2,
+    "attacks": cmd_attacks,
+    "audit": cmd_audit,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Hypernel (DAC 2018) reproduction harness",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, handler in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=handler.__doc__)
+        _add_common(sub)
+        sub.set_defaults(handler=handler)
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Hypernel core: Hypersec (EL2 software) and the MBM (bus hardware).
+
+This package is the paper's primary contribution; everything else in the
+repository is substrate or evaluation harness.  See
+:mod:`repro.core.hypernel` for the builders that assemble the three
+experimental configurations (native / kvm / hypernel).
+"""

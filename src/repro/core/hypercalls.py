@@ -1,0 +1,45 @@
+"""The Hypersec hypercall ABI (paper sections 5.2.1, 5.3, 6.2).
+
+Function numbers passed in the HVC immediate; arguments are plain words.
+The kernel-side hooks (:mod:`repro.kernel.pgtable_mgmt`,
+:mod:`repro.kernel.kernel`) invoke these; Hypersec dispatches on them.
+"""
+
+# Page-table management (paper 5.2.1 / 6.2): the kernel never writes its
+# own translation tables; it requests writes and Hypersec verifies them.
+HVC_PGTABLE_WRITE = 1      #: args: (descriptor_paddr, new_descriptor)
+HVC_PGTABLE_ALLOC = 2      #: args: (table_paddr,) — new table page: make RO
+HVC_PGTABLE_FREE = 3       #: args: (table_paddr,) — retired table page
+
+# Kernel monitoring (paper 5.3): security-application region hooks.
+HVC_REGISTER_REGION = 4    #: args: (sid, base_kva, size_bytes)
+HVC_UNREGISTER_REGION = 5  #: args: (sid, base_kva, size_bytes)
+
+# MBM interrupt service: the kernel IRQ stub forwards the MBM interrupt
+# into Hypersec (paper 6.2: "we inserted a hypercall in the kernel
+# interrupt handler").
+HVC_MBM_SERVICE = 6        #: args: ()
+
+# Granularity-gap fallback (section-mode linear map, ablation B): a
+# kernel write faulted on a read-only 2 MB section that shelters a page
+# table; Hypersec validates and emulates the write.
+HVC_EMULATE_WRITE = 7      #: args: (dest_paddr, value)
+HVC_EMULATE_WRITE_BLOCK = 8  #: args: (dest_paddr, nwords) — bulk variant
+#: used by the kernel for page-sized fills/copies that gap-fault; the
+#: per-word fault costs are charged kernel-side, this call batches only
+#: the simulation round trips.
+
+#: Result codes.
+HVC_OK = 0
+HVC_DENIED = 1
+
+NAMES = {
+    HVC_PGTABLE_WRITE: "pgtable_write",
+    HVC_PGTABLE_ALLOC: "pgtable_alloc",
+    HVC_PGTABLE_FREE: "pgtable_free",
+    HVC_REGISTER_REGION: "register_region",
+    HVC_UNREGISTER_REGION: "unregister_region",
+    HVC_MBM_SERVICE: "mbm_service",
+    HVC_EMULATE_WRITE: "emulate_write",
+    HVC_EMULATE_WRITE_BLOCK: "emulate_write_block",
+}

@@ -1,0 +1,534 @@
+"""Hypersec: the EL2-resident security software of Hypernel.
+
+Implements the paper's sections 5.2, 5.3 and 6.1:
+
+* **Isolated execution environment without nested paging** — Hypersec
+  never enables stage-2 translation.  Isolation rests on two invariants
+  it enforces instead:
+
+  1. *verified kernel page tables* (5.2.1): the kernel's translation
+     tables are read-only to EL1; every update arrives as a hypercall
+     that Hypersec validates (no mapping of the secure region, no
+     writable mapping of a table page, W xor X) and performs itself;
+  2. *trapped privileged instructions* (5.2.2): with ``HCR_EL2.TVM``
+     set, EL1 writes of TTBR0/TTBR1/SCTLR/TCR/MAIR trap here and are
+     checked against the recorded good configuration.
+
+* **Hardware-assisted monitoring** (5.3): security applications register
+  regions; Hypersec translates their kernel VAs to physical addresses,
+  sets the MBM's word-granularity bitmap (with uncached stores the MBM
+  snoops), makes the containing pages non-cacheable so every write
+  reaches the bus, and services the MBM interrupt by draining the ring
+  buffer and routing each (address, value) event to its application.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config import PAGE_BYTES, PAGE_WORDS, SECTION_BYTES, WORD_BYTES
+from repro.errors import SecurityViolation, SimulationError
+from repro.hw.platform import Platform
+from repro.arch.cpu import CPUCore
+from repro.arch.exceptions import EL2, EL2Vector
+from repro.arch.pagetable import (
+    DESC_AP_WRITE,
+    DESC_NC,
+    Descriptor,
+    LEVEL_SPAN,
+)
+from repro.arch.registers import HCR_TVM, SCTLR_M
+from repro.core import hypercalls as hc
+from repro.core.mbm.mbm import MemoryBusMonitor
+from repro.utils.bitops import align_down
+from repro.utils.events import EventHook
+from repro.utils.stats import StatSet
+
+
+class Hypersec(EL2Vector):
+    """The ~1.5 KLoC EL2 module, as a simulation model."""
+
+    def __init__(self, platform: Platform, cpu: CPUCore,
+                 mbm: Optional[MemoryBusMonitor] = None):
+        self.platform = platform
+        self.cpu = cpu
+        self.costs = platform.config.costs
+        self.mbm = mbm
+        self.kernel = None  # set by protect()
+        self.stats = StatSet("hypersec")
+        self.alerts = EventHook("hypersec_alerts")
+
+        # Policy state (resident in the secure region on real hardware).
+        self.table_pages: Set[int] = set()
+        self.root_tables: Set[int] = set()
+        #: boot-time linear-map tables: immutable after protect() except
+        #: for attribute bits (the kernel never legitimately remaps its
+        #: direct mapping).
+        self.linear_tables: Set[int] = set()
+        self.kernel_root = 0
+        self.recorded_regs: Dict[str, int] = {}
+        self._protected = False
+
+        # Monitoring state.
+        self._apps: Dict[int, object] = {}
+        self._next_sid = 1
+        #: page -> list of (base, end, sid) monitored ranges on it
+        self._region_index: Dict[int, List[Tuple[int, int, int]]] = {}
+        #: page -> number of registered ranges touching it
+        self._monitored_page_refs: Dict[int, int] = {}
+        #: sections turned read-only in section mode (granularity gap)
+        self.gap_sections: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Initialization (paper 6.1)
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Boot-time EL2 initialization: page table, stack, vectors."""
+        regs = self.cpu.regs
+        # Linear EL2 page table (modelled as the identity regime), stack
+        # and exception vectors.
+        regs.write("TTBR0_EL2", self.platform.secure_base)
+        regs.write("SP_EL2", self.platform.secure_limit - WORD_BYTES)
+        regs.write("VBAR_EL2", self.platform.secure_base + 0x800)
+        self.cpu.install_el2_vector(self)
+        self.stats.add("installed")
+
+    def register_app(self, app) -> int:
+        """Assign a security-application ID (SID, paper 5.3)."""
+        sid = self._next_sid
+        self._next_sid += 1
+        self._apps[sid] = app
+        app.sid = sid
+        return sid
+
+    # ------------------------------------------------------------------
+    # Kernel protection bring-up
+    # ------------------------------------------------------------------
+    def protect(self, kernel, verify_boot: bool = True) -> None:
+        """Lock down a freshly booted kernel (secure-boot hand-off).
+
+        Records the good VM-register configuration, registers and
+        write-protects every existing translation-table page, and
+        enables TVM trapping.  Must run before the first runtime
+        page-table update.
+
+        With ``verify_boot`` (the default, matching paper 5.2.1's
+        "Hypersec verifies the request" discipline applied to the
+        initial state), a full invariant audit of the just-locked
+        kernel runs and any violation aborts the boot.
+        """
+        if self._protected:
+            raise SimulationError("protect() called twice")
+        self.kernel = kernel
+        regs = self.cpu.regs
+        self.kernel_root = regs.read("TTBR1_EL1")
+        for name in ("SCTLR_EL1", "TCR_EL1", "MAIR_EL1"):
+            self.recorded_regs[name] = regs.read(name)
+        self.linear_tables = set(kernel.linear_map.table_pages)
+        for table in sorted(kernel.linear_map.table_pages):
+            self._register_table_page(table, is_root=False, verify_empty=False)
+        self.table_pages.add(self.kernel_root & ~(PAGE_BYTES - 1))
+        regs.set_bits("HCR_EL2", HCR_TVM)
+        self._protected = True
+        self.stats.add("protected")
+        if verify_boot:
+            report = self.audit()
+            if not report.clean:
+                self._alert("boot_verification", findings=len(report.findings))
+                raise SecurityViolation(
+                    f"boot-time verification failed: {report}", policy="boot"
+                )
+
+    # ------------------------------------------------------------------
+    # EL2 memory helpers (identity map; charged to the caller's clock)
+    # ------------------------------------------------------------------
+    def _el2_write(self, paddr: int, value: int, cacheable: bool = True) -> None:
+        saved = self.cpu.current_el
+        self.cpu.current_el = EL2
+        try:
+            self.platform.caches.write(paddr, value, cacheable)
+        finally:
+            self.cpu.current_el = saved
+
+    def _el2_read(self, paddr: int, cacheable: bool = True) -> int:
+        saved = self.cpu.current_el
+        self.cpu.current_el = EL2
+        try:
+            return self.platform.caches.read(paddr, cacheable)
+        finally:
+            self.cpu.current_el = saved
+
+    # ------------------------------------------------------------------
+    # EL2Vector: hypercalls
+    # ------------------------------------------------------------------
+    def handle_hvc(self, cpu: CPUCore, func: int, args: Sequence[int]) -> int:
+        self.stats.add(f"hvc.{hc.NAMES.get(func, func)}")
+        if func == hc.HVC_PGTABLE_WRITE:
+            return self._h_pgtable_write(*args)
+        if func == hc.HVC_PGTABLE_ALLOC:
+            return self._h_pgtable_alloc(args[0], bool(args[1]) if len(args) > 1 else False)
+        if func == hc.HVC_PGTABLE_FREE:
+            return self._h_pgtable_free(args[0])
+        if func == hc.HVC_REGISTER_REGION:
+            return self._h_register_region(*args)
+        if func == hc.HVC_UNREGISTER_REGION:
+            return self._h_unregister_region(*args)
+        if func == hc.HVC_MBM_SERVICE:
+            return self._h_mbm_service()
+        if func == hc.HVC_EMULATE_WRITE:
+            return self._h_emulate_write(*args)
+        if func == hc.HVC_EMULATE_WRITE_BLOCK:
+            return self._h_emulate_write_block(*args)
+        self._alert("unknown_hypercall", func=func)
+        return hc.HVC_DENIED
+
+    def _alert(self, policy: str, **info) -> None:
+        self.stats.add(f"alert.{policy}")
+        self.alerts.fire(policy, info)
+
+    # ------------------------------------------------------------------
+    # Page-table write verification (paper 5.2.1)
+    # ------------------------------------------------------------------
+    def _h_pgtable_write(self, desc_paddr: int, value: int, level: int = 3) -> int:
+        self.cpu.compute(self.costs.hypersec_verify_pte)
+        if align_down(desc_paddr, PAGE_BYTES) not in self.table_pages:
+            self._alert("pgtable_target", desc=desc_paddr)
+            return hc.HVC_DENIED
+        desc = Descriptor(value)
+        if desc.valid:
+            if level < 3 and desc.is_table:
+                # Next-level pointer: must reference a registered table.
+                if desc.address not in self.table_pages:
+                    self._alert("unregistered_table", target=desc.address)
+                    return hc.HVC_DENIED
+            else:
+                verdict = self._check_leaf(desc_paddr, desc, level)
+                if verdict != hc.HVC_OK:
+                    return verdict
+        else:
+            verdict = self._check_unmap(desc_paddr)
+            if verdict != hc.HVC_OK:
+                return verdict
+        self._el2_write(desc_paddr, value)
+        return hc.HVC_OK
+
+    def _check_leaf(self, desc_paddr: int, desc: Descriptor, level: int) -> int:
+        span = LEVEL_SPAN[level]
+        target_base = desc.address
+        target_end = target_base + span
+        # 1. Never map the secure space (paper 5.2.1).
+        if (target_base < self.platform.secure_limit
+                and target_end > self.platform.secure_base):
+            self._alert("secure_mapping", target=target_base)
+            return hc.HVC_DENIED
+        # 2. Never map a table page writable (read-only page tables).
+        if desc.writable:
+            for page in range(target_base, target_end, PAGE_BYTES):
+                if page in self.table_pages:
+                    self._alert("writable_table_mapping", target=page)
+                    return hc.HVC_DENIED
+        # 3. W xor X on kernel mappings (paper 5.2.1).
+        if desc.writable and desc.executable and not desc.user:
+            self._alert("w_xor_x", target=target_base)
+            return hc.HVC_DENIED
+        # 4. ATRA defence: a monitored region's mapping may not be
+        #    redirected while the region is registered (paper 5.3).
+        old = Descriptor(self.platform.bus.peek(desc_paddr))
+        self.cpu.compute(self.costs.l1_hit)  # the old-descriptor read
+        if old.valid and not old.is_table or (old.valid and level == 3):
+            old_base = old.address
+            if old_base != target_base:
+                for page in range(old_base, old_base + span, PAGE_BYTES):
+                    if self._monitored_page_refs.get(page):
+                        self._alert("atra_remap", old=old_base,
+                                    new=target_base)
+                        return hc.HVC_DENIED
+                # 5. The linear map is immutable after boot: attribute
+                #    changes are fine, address redirects never are.
+                if align_down(desc_paddr, PAGE_BYTES) in self.linear_tables:
+                    self._alert("linear_remap", old=old_base,
+                                new=target_base)
+                    return hc.HVC_DENIED
+        return hc.HVC_OK
+
+    def _check_unmap(self, desc_paddr: int) -> int:
+        old = Descriptor(self.platform.bus.peek(desc_paddr))
+        self.cpu.compute(self.costs.l1_hit)
+        if old.valid and not old.is_table:
+            for page in range(old.address,
+                              old.address + PAGE_BYTES, PAGE_BYTES):
+                if self._monitored_page_refs.get(page):
+                    self._alert("monitored_unmap", target=old.address)
+                    return hc.HVC_DENIED
+        return hc.HVC_OK
+
+    # ------------------------------------------------------------------
+    # Table-page lifecycle (paper 6.2: read-only page tables)
+    # ------------------------------------------------------------------
+    def _h_pgtable_alloc(self, table_paddr: int, is_root: bool) -> int:
+        if table_paddr & (PAGE_BYTES - 1):
+            self._alert("pgtable_alloc_misaligned", target=table_paddr)
+            return hc.HVC_DENIED
+        if self.platform.in_secure_region(table_paddr):
+            self._alert("pgtable_alloc_secure", target=table_paddr)
+            return hc.HVC_DENIED
+        if table_paddr in self.table_pages:
+            self._alert("pgtable_alloc_duplicate", target=table_paddr)
+            return hc.HVC_DENIED
+        # Verify the kernel really zeroed it (no smuggled mappings).
+        for offset in range(0, PAGE_BYTES, WORD_BYTES):
+            if self.platform.bus.peek(table_paddr + offset) != 0:
+                self._alert("pgtable_alloc_dirty", target=table_paddr)
+                return hc.HVC_DENIED
+        self.cpu.compute(self.costs.l2_hit * (PAGE_WORDS // 8))  # scan cost
+        self._register_table_page(table_paddr, is_root, verify_empty=False)
+        return hc.HVC_OK
+
+    def _register_table_page(self, table_paddr: int, is_root: bool,
+                             verify_empty: bool) -> None:
+        self.table_pages.add(table_paddr)
+        if is_root:
+            self.root_tables.add(table_paddr)
+        self._set_linear_writable(table_paddr, writable=False)
+
+    def _h_pgtable_free(self, table_paddr: int) -> int:
+        if table_paddr not in self.table_pages:
+            self._alert("pgtable_free_unknown", target=table_paddr)
+            return hc.HVC_DENIED
+        self.table_pages.discard(table_paddr)
+        self.root_tables.discard(table_paddr)
+        self._set_linear_writable(table_paddr, writable=True)
+        return hc.HVC_OK
+
+    def _set_linear_writable(self, page_paddr: int, writable: bool) -> None:
+        """Flip write permission of the linear-map leaf covering a page.
+
+        In page mode this is exact.  In section mode the whole 2 MB
+        block changes — the protection-granularity gap of paper 6.2:
+        unrelated kernel data in the section becomes read-only too, and
+        its writes start faulting into :meth:`_h_emulate_write`.
+        """
+        if self.kernel is None:
+            raise SimulationError("protect() must run before table ops")
+        desc_addr, level = self.kernel.linear_map.leaf_desc_addr(page_paddr)
+        raw = self.platform.bus.peek(desc_addr)
+        if writable:
+            if level == 2:
+                section = align_down(page_paddr, SECTION_BYTES)
+                # Only restore when no other table page shares the block.
+                if any(align_down(t, SECTION_BYTES) == section
+                       for t in self.table_pages):
+                    return
+                self.gap_sections.discard(section)
+            new = raw | DESC_AP_WRITE
+        else:
+            if level == 2:
+                self.gap_sections.add(align_down(page_paddr, SECTION_BYTES))
+            new = raw & ~DESC_AP_WRITE
+        self._el2_write(desc_addr, new)
+        if level == 2:
+            # The block leaf covers 2 MB: stale entries for *any* page
+            # of the section must go (the TLB is page-granular here).
+            self.cpu.tlbi_all()
+        else:
+            self.cpu.tlbi_va(self.kernel.linear_map.kva(page_paddr))
+
+    # ------------------------------------------------------------------
+    # Granularity-gap write emulation (section mode only)
+    # ------------------------------------------------------------------
+    def _h_emulate_write(self, dest_paddr: int, value: int) -> int:
+        self.cpu.compute(self.costs.hypersec_verify_pte)
+        if self.platform.in_secure_region(dest_paddr):
+            self._alert("emulate_secure", target=dest_paddr)
+            return hc.HVC_DENIED
+        if align_down(dest_paddr, PAGE_BYTES) in self.table_pages:
+            self._alert("emulate_table_write", target=dest_paddr)
+            return hc.HVC_DENIED
+        self.stats.add("gap_emulated_writes")
+        self._el2_write(dest_paddr, value)
+        return hc.HVC_OK
+
+    def _h_emulate_write_block(self, dest_paddr: int, nwords: int) -> int:
+        """Bulk write emulation for page-sized fills that gap-faulted.
+
+        One simulated call stands in for ``nwords`` individual faults;
+        the kernel side charges the per-word trap costs, this side
+        charges the per-word verification and store work.
+        """
+        from repro.config import PAGE_BYTES as _PAGE
+        first_page = align_down(dest_paddr, _PAGE)
+        last_page = align_down(dest_paddr + nwords * WORD_BYTES - 1, _PAGE)
+        for page in range(first_page, last_page + _PAGE, _PAGE):
+            if self.platform.in_secure_region(page):
+                self._alert("emulate_secure", target=page)
+                return hc.HVC_DENIED
+            if page in self.table_pages:
+                self._alert("emulate_table_write", target=page)
+                return hc.HVC_DENIED
+        self.cpu.compute(nwords * self.costs.hypersec_verify_pte // 8)
+        saved = self.cpu.current_el
+        self.cpu.current_el = EL2
+        try:
+            self.platform.caches.touch_block(dest_paddr, nwords, is_write=True)
+        finally:
+            self.cpu.current_el = saved
+        self.stats.add("gap_emulated_writes", nwords)
+        return hc.HVC_OK
+
+    # ------------------------------------------------------------------
+    # Trapped VM-control registers (paper 5.2.2)
+    # ------------------------------------------------------------------
+    def handle_trapped_msr(self, cpu: CPUCore, register: str, value: int) -> None:
+        cpu.compute(self.costs.hypersec_verify_reg)
+        self.stats.add(f"trap.{register}")
+        if register == "TTBR1_EL1":
+            if value != self.kernel_root:
+                self._alert("rogue_ttbr1", value=value)
+                raise SecurityViolation(
+                    f"attempt to switch TTBR1_EL1 to {value:#x}",
+                    policy="ttbr",
+                )
+        elif register == "TTBR0_EL1":
+            if (value & ~(PAGE_BYTES - 1)) not in self.root_tables:
+                self._alert("rogue_ttbr0", value=value)
+                raise SecurityViolation(
+                    f"attempt to switch TTBR0_EL1 to unregistered root "
+                    f"{value:#x}",
+                    policy="ttbr",
+                )
+        elif register == "SCTLR_EL1":
+            if self._protected and not value & SCTLR_M:
+                self._alert("mmu_disable", value=value)
+                raise SecurityViolation(
+                    "attempt to disable the stage-1 MMU", policy="sctlr"
+                )
+        else:  # TCR_EL1 / MAIR_EL1: configuration must not change.
+            if self._protected and value != self.recorded_regs.get(register, value):
+                self._alert("vm_config_change", register=register)
+                raise SecurityViolation(
+                    f"attempt to retune {register}", policy="vmcfg"
+                )
+        cpu.regs.write(register, value)
+
+    # ------------------------------------------------------------------
+    # Region registration (paper 5.3, Figure 4 green path)
+    # ------------------------------------------------------------------
+    def _h_register_region(self, sid: int, base_kva: int, size: int) -> int:
+        if sid not in self._apps:
+            self._alert("unknown_sid", sid=sid)
+            return hc.HVC_DENIED
+        if self.mbm is None:
+            self._alert("no_mbm", sid=sid)
+            return hc.HVC_DENIED
+        self.cpu.compute(self.costs.hypersec_register_region)
+        base_pa = self.kernel.linear_map.pa(base_kva)
+        if (self.platform.in_secure_region(base_pa)
+                or self.platform.in_secure_region(base_pa + size - 1)):
+            self._alert("register_secure", base=base_pa)
+            return hc.HVC_DENIED
+        end_pa = base_pa + size
+        # Enable the bitmap bits (uncached stores the MBM snoops).
+        for word_addr, mask in self.mbm.bitmap.words_for_range(base_pa, size):
+            current = self._el2_read(word_addr, cacheable=False)
+            self._el2_write(word_addr, current | mask, cacheable=False)
+        # Index the range and make its pages non-cacheable.
+        for page in self.mbm.bitmap.pages_for_range(base_pa, size):
+            self._region_index.setdefault(page, []).append((base_pa, end_pa, sid))
+            refs = self._monitored_page_refs.get(page, 0)
+            self._monitored_page_refs[page] = refs + 1
+            if refs == 0:
+                self._set_page_cacheability(page, cacheable=False)
+        self.stats.add("regions_registered")
+        return hc.HVC_OK
+
+    def _h_unregister_region(self, sid: int, base_kva: int, size: int) -> int:
+        if sid not in self._apps or self.mbm is None:
+            return hc.HVC_DENIED
+        self.cpu.compute(self.costs.hypersec_register_region)
+        base_pa = self.kernel.linear_map.pa(base_kva)
+        end_pa = base_pa + size
+        for word_addr, mask in self.mbm.bitmap.words_for_range(base_pa, size):
+            current = self._el2_read(word_addr, cacheable=False)
+            self._el2_write(word_addr, current & ~mask, cacheable=False)
+        for page in self.mbm.bitmap.pages_for_range(base_pa, size):
+            ranges = self._region_index.get(page, [])
+            if (base_pa, end_pa, sid) in ranges:
+                ranges.remove((base_pa, end_pa, sid))
+            refs = self._monitored_page_refs.get(page, 1) - 1
+            if refs <= 0:
+                self._monitored_page_refs.pop(page, None)
+                self._set_page_cacheability(page, cacheable=True)
+            else:
+                self._monitored_page_refs[page] = refs
+        self.stats.add("regions_unregistered")
+        return hc.HVC_OK
+
+    def _set_page_cacheability(self, page_paddr: int, cacheable: bool) -> None:
+        """Retune the linear-map attribute so MBM sees (or stops seeing)
+        every write: paper 5.3, "any cache entry for the page including
+        the monitored region is not generated"."""
+        desc_addr, level = self.kernel.linear_map.leaf_desc_addr(page_paddr)
+        raw = self.platform.bus.peek(desc_addr)
+        new = (raw & ~DESC_NC) if cacheable else (raw | DESC_NC)
+        self._el2_write(desc_addr, new)
+        if not cacheable:
+            # Flush any dirty lines so no stale writeback bypasses the MBM.
+            if level == 2:
+                section = align_down(page_paddr, SECTION_BYTES)
+                for off in range(0, SECTION_BYTES, PAGE_BYTES):
+                    self.platform.caches.clean_invalidate_page(section + off)
+            else:
+                self.platform.caches.clean_invalidate_page(page_paddr)
+        if level == 2:
+            self.cpu.tlbi_all()
+        else:
+            self.cpu.tlbi_va(self.kernel.linear_map.kva(page_paddr))
+
+    # ------------------------------------------------------------------
+    # MBM interrupt service (paper 5.3, Figure 4 red path)
+    # ------------------------------------------------------------------
+    def _h_mbm_service(self) -> int:
+        if self.mbm is None:
+            return hc.HVC_DENIED
+        events = self.mbm.ring.consume_all(
+            reader=lambda paddr: self._el2_read(paddr, cacheable=False)
+        )
+        for addr, value in events:
+            self.cpu.compute(self.costs.hypersec_irq_dispatch)
+            self._dispatch_event(addr, value)
+        self.stats.add("mbm_events_dispatched", len(events))
+        return hc.HVC_OK
+
+    def _dispatch_event(self, addr: int, value: int) -> None:
+        page = align_down(addr, PAGE_BYTES)
+        matched = False
+        for base, end, sid in self._region_index.get(page, []):
+            if base <= addr < end:
+                matched = True
+                self._apps[sid].on_event(addr, value)
+        if not matched:
+            self.stats.add("orphan_events")
+
+    # ------------------------------------------------------------------
+    # Runtime verification (Discussion section: verifiable TCB)
+    # ------------------------------------------------------------------
+    def audit(self):
+        """Check every Hypernel security invariant against live machine
+        state (real table walks, real bitmap contents).  Returns an
+        :class:`~repro.core.audit.AuditReport`."""
+        from repro.core.audit import HypersecAuditor
+        return HypersecAuditor(self).audit()
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and the analysis layer
+    # ------------------------------------------------------------------
+    def monitored_word_count(self) -> int:
+        """Registered monitored bytes / 8 (from the live region index)."""
+        total = 0
+        seen = set()
+        for ranges in self._region_index.values():
+            for base, end, sid in ranges:
+                if (base, end, sid) not in seen:
+                    seen.add((base, end, sid))
+                    total += (end - base) // WORD_BYTES
+        return total

@@ -1,0 +1,34 @@
+"""The Memory Bus Monitor (MBM) hardware model.
+
+Paper Figure 5, one module per block:
+
+* :mod:`~repro.core.mbm.snooper` — bus-traffic snooper: captures write
+  address/value pairs off the CPU<->DRAM bus.
+* :mod:`~repro.core.mbm.fifo` — the capture FIFO between the snooper
+  and the bitmap translator.
+* :mod:`~repro.core.mbm.bitmap` — the word-granularity bitmap (1 bit per
+  8-byte word) held in secure memory.
+* :mod:`~repro.core.mbm.bitmap_cache` — the read-allocate bitmap cache,
+  invalidation-updated by snooped writes to the bitmap region.
+* :mod:`~repro.core.mbm.translator` — computes each event's bitmap word
+  address and fetches it (through the cache).
+* :mod:`~repro.core.mbm.decision` — tests the event's bit and, on a hit,
+  records (address, value) in the ring buffer and raises the interrupt.
+* :mod:`~repro.core.mbm.ringbuf` — the output ring buffer in secure
+  memory that Hypersec drains.
+* :mod:`~repro.core.mbm.mbm` — the assembled monitor.
+"""
+
+from repro.core.mbm.bitmap import WordBitmap
+from repro.core.mbm.bitmap_cache import BitmapCache
+from repro.core.mbm.fifo import CaptureFifo
+from repro.core.mbm.mbm import MemoryBusMonitor
+from repro.core.mbm.ringbuf import EventRingBuffer
+
+__all__ = [
+    "BitmapCache",
+    "CaptureFifo",
+    "EventRingBuffer",
+    "MemoryBusMonitor",
+    "WordBitmap",
+]

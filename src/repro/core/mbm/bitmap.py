@@ -1,0 +1,96 @@
+"""The word-granularity monitoring bitmap.
+
+Paper section 5.3: "the monitored region is represented at the word
+granularity through a bitmap which maps one word (8 bytes) to one bit."
+The bitmap lives in the secure physical region, out of the kernel's
+reach; Hypersec sets/clears bits with *uncached* stores so the MBM (which
+snoops bus traffic) can keep its bitmap cache coherent.
+
+This class is the layout/arithmetic helper shared by Hypersec (the
+writer) and the MBM (the reader); it does not access memory itself —
+callers pass an accessor so reads and writes are charged to the right
+agent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.config import WORD_BYTES
+from repro.errors import ConfigurationError
+from repro.utils.bitops import is_aligned
+
+#: monitored words per bitmap word (one bit each).
+WORDS_PER_BITMAP_WORD = 64
+
+
+class WordBitmap:
+    """Address arithmetic for a bitmap covering ``[covered_base,
+    covered_limit)`` stored at ``bitmap_base`` in secure memory."""
+
+    def __init__(self, bitmap_base: int, covered_base: int, covered_limit: int):
+        if not is_aligned(covered_base, WORD_BYTES * WORDS_PER_BITMAP_WORD):
+            raise ConfigurationError("covered base must be 512-byte aligned")
+        if covered_limit <= covered_base:
+            raise ConfigurationError("empty covered range")
+        self.bitmap_base = bitmap_base
+        self.covered_base = covered_base
+        self.covered_limit = covered_limit
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes of secure memory the bitmap occupies."""
+        covered_words = (self.covered_limit - self.covered_base) // WORD_BYTES
+        bitmap_words = (covered_words + WORDS_PER_BITMAP_WORD - 1) // WORDS_PER_BITMAP_WORD
+        return bitmap_words * WORD_BYTES
+
+    def covers(self, paddr: int) -> bool:
+        """True if ``paddr`` falls in the covered physical range."""
+        return self.covered_base <= paddr < self.covered_limit
+
+    def locate(self, paddr: int) -> Tuple[int, int]:
+        """Map a covered physical address to ``(bitmap_word_paddr, bit)``."""
+        if not self.covers(paddr):
+            raise ConfigurationError(f"{paddr:#x} outside the monitored range")
+        word_index = (paddr - self.covered_base) // WORD_BYTES
+        return (
+            self.bitmap_base + (word_index // WORDS_PER_BITMAP_WORD) * WORD_BYTES,
+            word_index % WORDS_PER_BITMAP_WORD,
+        )
+
+    def words_for_range(self, base: int, size: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(bitmap_word_paddr, bit_mask)`` pairs whose OR covers
+        the byte range ``[base, base + size)``, coalesced per bitmap word.
+        """
+        if size <= 0:
+            return
+        first_word = (base - self.covered_base) // WORD_BYTES
+        last_word = (base + size - 1 - self.covered_base) // WORD_BYTES
+        current_bitmap_word = None
+        mask = 0
+        for word_index in range(first_word, last_word + 1):
+            bitmap_word = word_index // WORDS_PER_BITMAP_WORD
+            bit = word_index % WORDS_PER_BITMAP_WORD
+            if bitmap_word != current_bitmap_word:
+                if current_bitmap_word is not None:
+                    yield (
+                        self.bitmap_base + current_bitmap_word * WORD_BYTES,
+                        mask,
+                    )
+                current_bitmap_word = bitmap_word
+                mask = 0
+            mask |= 1 << bit
+        if current_bitmap_word is not None:
+            yield (self.bitmap_base + current_bitmap_word * WORD_BYTES, mask)
+
+    def bitmap_range(self) -> Tuple[int, int]:
+        """``(base, limit)`` of the bitmap's own storage (for snooping)."""
+        return self.bitmap_base, self.bitmap_base + self.size_bytes
+
+    def pages_for_range(self, base: int, size: int) -> List[int]:
+        """4 KB-aligned covered pages a byte range intersects."""
+        if size <= 0:
+            return []
+        first = base & ~0xFFF
+        last = (base + size - 1) & ~0xFFF
+        return list(range(first, last + 0x1000, 0x1000))

@@ -1,0 +1,47 @@
+"""The MBM's decision unit.
+
+Paper section 6.3: "the decision unit checks if a bit of the bitmap
+data, which represents whether the write event should be monitored or
+not, is enabled.  If it is, the decision unit sends an interrupt to the
+host CPU."  The event record goes to the ring buffer first (section
+5.3), so Hypersec finds it there when it services the interrupt.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import CostModel
+from repro.core.mbm.ringbuf import EventRingBuffer
+from repro.utils.stats import StatSet
+
+
+class DecisionUnit:
+    """Tests bitmap bits and emits detections."""
+
+    def __init__(
+        self,
+        ring: EventRingBuffer,
+        costs: CostModel,
+        raise_irq: Optional[Callable[[], None]] = None,
+    ):
+        self.ring = ring
+        self.costs = costs
+        self.raise_irq = raise_irq
+        self.stats = StatSet("mbm_decision")
+        self.busy_cycles = 0
+
+    def decide(
+        self, paddr: int, value: Optional[int], bitmap_word: int, bit: int
+    ) -> bool:
+        """Process one captured event; True when it was a monitored hit."""
+        self.busy_cycles += self.costs.mbm_decision
+        self.stats.add("checked")
+        if not (bitmap_word >> bit) & 1:
+            return False
+        self.stats.add("hits")
+        if not self.ring.produce(paddr, value):
+            self.stats.add("lost_events")
+        if self.raise_irq is not None:
+            self.raise_irq()
+        return True

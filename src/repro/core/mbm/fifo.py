@@ -1,0 +1,59 @@
+"""The MBM capture FIFO.
+
+Sits between the bus-traffic snooper and the bitmap translator (paper
+Figure 5): snooped write address/value pairs are queued here while the
+translator works.  The simulation drains the FIFO synchronously, so the
+structure mainly models *capacity*: a burst larger than the FIFO drops
+events, which the hardware reports via a sticky overrun flag (a real
+monitor must be provisioned so this never happens silently).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.utils.stats import StatSet
+
+#: (paddr, value) — value is None for block-modelled streams.
+FifoEntry = Tuple[int, Optional[int]]
+
+
+class CaptureFifo:
+    """Bounded FIFO of captured write events."""
+
+    def __init__(self, depth: int = 64):
+        if depth <= 0:
+            raise ValueError(f"FIFO depth must be positive, got {depth}")
+        self.depth = depth
+        self._entries: Deque[FifoEntry] = deque()
+        self.overrun = False
+        self.stats = StatSet("mbm_fifo")
+
+    def push(self, paddr: int, value: Optional[int]) -> bool:
+        """Capture one event; returns False (and sets the overrun flag)
+        when the FIFO is full and the event is lost."""
+        if len(self._entries) >= self.depth:
+            self.overrun = True
+            self.stats.add("dropped")
+            return False
+        self._entries.append((paddr, value))
+        self.stats.add("pushed")
+        high = len(self._entries)
+        if high > self.stats.get("max_depth"):
+            self.stats.add("max_depth", high - self.stats.get("max_depth"))
+        return True
+
+    def pop(self) -> Optional[FifoEntry]:
+        """Remove and return the oldest event, or ``None`` when empty."""
+        if not self._entries:
+            return None
+        self.stats.add("popped")
+        return self._entries.popleft()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear_overrun(self) -> None:
+        """Acknowledge a previously latched overrun."""
+        self.overrun = False

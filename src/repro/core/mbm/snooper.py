@@ -1,0 +1,65 @@
+"""The MBM's bus-traffic snooper.
+
+Paper section 6.3: "The bus traffic snooper, a hardware module that
+monitors the memory bus traffic, captures the write address/value
+pairs."  It also does the housekeeping only a bus-resident agent can:
+
+* snoops writes to the bitmap's own storage to keep the bitmap cache
+  write-updated (section 6.3);
+* flags dirty-line writebacks that overlap monitored words — a write
+  the monitor could *not* decode, which is why Hypersec maps monitored
+  pages non-cacheable (section 5.3);
+* flags non-CPU (DMA) writes into the secure region — the bus-level
+  tamper detection sketched in the paper's Discussion section.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import WORD_BYTES
+from repro.hw.bus import BusTransaction, TxnKind
+from repro.utils.stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.mbm.mbm import MemoryBusMonitor
+
+
+class BusTrafficSnooper:
+    """The bus-facing front end of the MBM."""
+
+    def __init__(self, mbm: "MemoryBusMonitor"):
+        self.mbm = mbm
+        self.stats = StatSet("mbm_snooper")
+
+    def __call__(self, txn: BusTransaction) -> None:
+        """Observe one bus transaction (installed as a bus snooper)."""
+        mbm = self.mbm
+        if txn.initiator == "mbm":
+            return  # our own bitmap fetches / ring stores
+        self.stats.add("observed")
+        # Secure-region tamper detection (DMA attack, Discussion section).
+        if txn.is_write_like and txn.initiator not in ("cpu",):
+            if self._overlaps_secure(txn):
+                self.stats.add("secure_tamper_writes")
+                mbm.tamper_alert.fire(txn)
+        if txn.kind is TxnKind.WRITE:
+            if mbm.bitmap_storage[0] <= txn.paddr < mbm.bitmap_storage[1]:
+                # Hypersec updating the bitmap: write-update the cache.
+                mbm.bitmap_cache.snoop_update(txn.paddr, txn.value or 0)
+                return
+            if mbm.bitmap.covers(txn.paddr):
+                self.stats.add("captured")
+                mbm.capture(txn.paddr, txn.value)
+        elif txn.kind is TxnKind.BLOCK_WRITE:
+            if mbm.bitmap.covers(txn.paddr):
+                self.stats.add("captured_blocks")
+                mbm.capture_block(txn.paddr, txn.nwords)
+        elif txn.kind is TxnKind.WRITEBACK:
+            if mbm.bitmap.covers(txn.paddr):
+                mbm.note_writeback(txn.paddr, txn.nwords)
+
+    def _overlaps_secure(self, txn: BusTransaction) -> bool:
+        secure_base, secure_limit = self.mbm.secure_range
+        end = txn.paddr + txn.nwords * WORD_BYTES
+        return txn.paddr < secure_limit and end > secure_base

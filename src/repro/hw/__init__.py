@@ -1,0 +1,28 @@
+"""Hardware substrate: clock, physical memory, bus, DRAM, caches, IRQs.
+
+These models sit *below* the architecture layer.  Everything the simulated
+CPU, page-table walker, hypervisor or MBM does to memory flows through
+:class:`~repro.hw.bus.MemoryBus`, which is where the MBM's bus-traffic
+snooper attaches — exactly the attachment point of the paper's Figure 5.
+"""
+
+from repro.hw.bus import BusTransaction, MemoryBus, TxnKind
+from repro.hw.cache import Cache, CacheHierarchy
+from repro.hw.clock import Clock
+from repro.hw.dram import DramModel
+from repro.hw.interrupt import InterruptController
+from repro.hw.memory import PhysicalMemory
+from repro.hw.platform import Platform
+
+__all__ = [
+    "BusTransaction",
+    "Cache",
+    "CacheHierarchy",
+    "Clock",
+    "DramModel",
+    "InterruptController",
+    "MemoryBus",
+    "PhysicalMemory",
+    "Platform",
+    "TxnKind",
+]

@@ -1,0 +1,235 @@
+"""Set-associative write-back cache models.
+
+The caches are *timing-only*: data always lives in
+:class:`~repro.hw.memory.PhysicalMemory` (the backing store is updated on
+every write), while the cache models track which lines would be resident
+and dirty, charge hit/miss latencies, and generate the line-fill and
+writeback bus traffic that a real hierarchy would.
+
+The property that matters for Hypernel: a **cacheable** write updates the
+cache and does *not* produce a word-granular bus transaction — only an
+eventual ``WRITEBACK`` of the whole line, without per-word values.  The
+MBM therefore cannot monitor cacheable pages, which is why Hypersec maps
+monitored pages non-cacheable (paper section 5.3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import LINE_BYTES, PAGE_BYTES, CostModel
+from repro.errors import ConfigurationError
+from repro.hw.bus import MemoryBus
+from repro.utils.bitops import align_down
+from repro.utils.stats import StatSet
+
+
+class Cache:
+    """One level of set-associative cache with true-LRU replacement."""
+
+    def __init__(self, name: str, size_bytes: int, ways: int, line_bytes: int = LINE_BYTES):
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} not divisible by ways*line "
+                f"({ways}*{line_bytes})"
+            )
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * line_bytes)
+        # Per-set LRU ordering: maps line base address -> dirty flag.
+        # OrderedDict order is LRU -> MRU.
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self.stats = StatSet(name)
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.num_sets
+
+    def _set_for(self, line_addr: int) -> "OrderedDict[int, bool]":
+        return self._sets.setdefault(self._set_index(line_addr), OrderedDict())
+
+    def lookup(self, line_addr: int, touch: bool = True) -> bool:
+        """True if the line is resident; refreshes LRU when ``touch``."""
+        lines = self._set_for(line_addr)
+        if line_addr in lines:
+            if touch:
+                lines.move_to_end(line_addr)
+            self.stats.add("hits")
+            return True
+        self.stats.add("misses")
+        return False
+
+    def insert(self, line_addr: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Insert a line; returns ``(evicted_addr, was_dirty)`` or ``None``.
+
+        If the line is already present this only merges the dirty bit.
+        """
+        lines = self._set_for(line_addr)
+        if line_addr in lines:
+            lines[line_addr] = lines[line_addr] or dirty
+            lines.move_to_end(line_addr)
+            return None
+        evicted = None
+        if len(lines) >= self.ways:
+            evicted_addr, was_dirty = lines.popitem(last=False)
+            evicted = (evicted_addr, was_dirty)
+            self.stats.add("evictions")
+            if was_dirty:
+                self.stats.add("dirty_evictions")
+        lines[line_addr] = dirty
+        return evicted
+
+    def mark_dirty(self, line_addr: int) -> None:
+        """Set the dirty bit of a resident line (no-op when absent)."""
+        lines = self._set_for(line_addr)
+        if line_addr in lines:
+            lines[line_addr] = True
+
+    def remove(self, line_addr: int) -> Optional[bool]:
+        """Invalidate a line; returns its dirty bit, or ``None`` if absent."""
+        lines = self._set_for(line_addr)
+        return lines.pop(line_addr, None)
+
+    def resident_lines(self) -> List[int]:
+        """All resident line addresses (test/maintenance helper)."""
+        return [addr for lines in self._sets.values() for addr in lines]
+
+    def invalidate_all(self) -> None:
+        """Drop every line without writeback (power-on state)."""
+        self._sets.clear()
+
+
+class CacheHierarchy:
+    """A two-level (L1 + unified L2) write-back write-allocate hierarchy.
+
+    Front door for all CPU-originated memory traffic:
+
+    * non-cacheable accesses bypass straight to the bus word-by-word,
+    * cacheable accesses hit/miss through L1 then L2, generating
+      ``LINE_FILL`` and ``WRITEBACK`` bus traffic on misses/evictions.
+    """
+
+    def __init__(self, l1: Cache, l2: Cache, bus: MemoryBus, costs: CostModel):
+        if l1.line_bytes != l2.line_bytes:
+            raise ConfigurationError("L1 and L2 must share a line size")
+        self.l1 = l1
+        self.l2 = l2
+        self.bus = bus
+        self.costs = costs
+        self.stats = StatSet("cache_hierarchy")
+
+    # ------------------------------------------------------------------
+    def _line_addr(self, paddr: int) -> int:
+        return align_down(paddr, self.l1.line_bytes)
+
+    def _ensure_resident(self, paddr: int, initiator: str) -> None:
+        """Bring the line containing ``paddr`` into L1 (and L2), charging
+        the appropriate latencies and emitting fill/writeback traffic."""
+        line = self._line_addr(paddr)
+        if self.l1.lookup(line):
+            self.bus.clock.advance(self.costs.l1_hit)
+            return
+        if self.l2.lookup(line):
+            self.bus.clock.advance(self.costs.l1_hit + self.costs.l2_hit)
+        else:
+            # Full miss: fetch from DRAM (bus charges the burst).
+            self.bus.clock.advance(self.costs.l1_hit + self.costs.l2_hit)
+            self.bus.fill_line(line, initiator=initiator)
+            evicted = self.l2.insert(line, dirty=False)
+            if evicted is not None and evicted[1]:
+                self.bus.writeback_line(evicted[0], initiator=initiator)
+        evicted = self.l1.insert(line, dirty=False)
+        if evicted is not None:
+            evicted_addr, was_dirty = evicted
+            # L1 victim folds into L2 (dirty bit merges); if L2 must evict
+            # a dirty line to make room, that one goes to DRAM.
+            displaced = self.l2.insert(evicted_addr, dirty=was_dirty)
+            if displaced is not None and displaced[1]:
+                self.bus.writeback_line(displaced[0], initiator=initiator)
+
+    # ------------------------------------------------------------------
+    # Public access API
+    # ------------------------------------------------------------------
+    def read(self, paddr: int, cacheable: bool, initiator: str = "cpu") -> int:
+        """Read one word through the hierarchy."""
+        if not cacheable:
+            self.stats.add("uncached_reads")
+            return self.bus.read(paddr, initiator=initiator)
+        self.stats.add("cached_reads")
+        self._ensure_resident(paddr, initiator)
+        return self.bus.peek(paddr)
+
+    def write(self, paddr: int, value: int, cacheable: bool, initiator: str = "cpu") -> None:
+        """Write one word through the hierarchy.
+
+        Cacheable writes update the backing store silently (timing-only
+        cache) and mark the line dirty; the word-level transaction never
+        appears on the bus.
+        """
+        if not cacheable:
+            self.stats.add("uncached_writes")
+            self.bus.write(paddr, value, initiator=initiator)
+            return
+        self.stats.add("cached_writes")
+        self._ensure_resident(paddr, initiator)
+        self.l1.mark_dirty(self._line_addr(paddr))
+        self.bus.poke(paddr, value)
+
+    def touch_block(self, paddr: int, nwords: int, is_write: bool) -> None:
+        """Run a sequential ``nwords`` access stream through the caches.
+
+        Reads fill lines normally.  Writes use streaming-store semantics
+        (write-allocate-no-fetch, as ``DC ZVA`` / non-temporal stores
+        give bulk memset/memcpy on real ARM cores): whole lines are
+        installed dirty without fetching their old contents, so a page
+        clear costs cache-write bandwidth rather than a fill per line.
+        Word values are not tracked — this is the cacheable counterpart
+        of :meth:`~repro.hw.bus.MemoryBus.write_block`.
+        """
+        if nwords <= 0:
+            return
+        line_bytes = self.l1.line_bytes
+        first = align_down(paddr, line_bytes)
+        last = align_down(paddr + (nwords - 1) * 8, line_bytes)
+        for line in range(first, last + 1, line_bytes):
+            if is_write:
+                self._install_dirty(line)
+            else:
+                self._ensure_resident(line, initiator="cpu")
+
+    def _install_dirty(self, line: int) -> None:
+        """Install a whole line dirty without fetching it (streaming)."""
+        self.bus.clock.advance(self.costs.l1_hit)
+        if self.l1.lookup(line):
+            self.l1.mark_dirty(line)
+            return
+        evicted = self.l1.insert(line, dirty=True)
+        if evicted is not None:
+            evicted_addr, was_dirty = evicted
+            displaced = self.l2.insert(evicted_addr, dirty=was_dirty)
+            if displaced is not None and displaced[1]:
+                self.bus.writeback_line(displaced[0], initiator="cpu")
+
+    # ------------------------------------------------------------------
+    # Cache maintenance
+    # ------------------------------------------------------------------
+    def clean_invalidate_page(self, page_paddr: int) -> int:
+        """Clean+invalidate every line of the 4 KB page at ``page_paddr``.
+
+        Used by Hypersec when it turns a page non-cacheable: resident
+        dirty lines are written back, clean lines dropped.  Returns the
+        number of lines written back.
+        """
+        base = align_down(page_paddr, PAGE_BYTES)
+        written_back = 0
+        for offset in range(0, PAGE_BYTES, self.l1.line_bytes):
+            line = base + offset
+            l1_dirty = self.l1.remove(line)
+            l2_dirty = self.l2.remove(line)
+            dirty = bool(l1_dirty) or bool(l2_dirty)
+            if dirty:
+                self.bus.writeback_line(line)
+                written_back += 1
+        self.stats.add("page_maintenance_ops")
+        return written_back

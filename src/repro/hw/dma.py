@@ -1,0 +1,81 @@
+"""DMA engine and IOMMU models (paper Discussion section).
+
+"Hypernel must thwart the adversary's attempt to tamper with the memory
+region of the secure space through DMA. ... such a malicious attempt can
+be easily circumvented by leveraging IOMMU.  Furthermore, since our MBM
+can watch the bus traffic between the CPU and main memory, we expect
+that Hypernel can detect such an attack."
+
+Both halves are implemented as extensions:
+
+* :class:`DmaEngine` — a bus-mastering peripheral a compromised driver
+  can program to write arbitrary physical addresses (initiator
+  ``"dma"``, so the MBM's snooper can tell it from CPU traffic).
+* :class:`Iommu` — a System-MMU in front of the device: only
+  explicitly granted windows are writable; everything else faults.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.config import WORD_BYTES
+from repro.errors import SecurityViolation
+from repro.hw.bus import MemoryBus
+from repro.utils.stats import StatSet
+
+
+class Iommu:
+    """A System-MMU enforcing per-device access windows."""
+
+    def __init__(self):
+        self._windows: List[Tuple[int, int]] = []
+        self.stats = StatSet("iommu")
+
+    def grant(self, base: int, size: int) -> None:
+        """Open a DMA window ``[base, base+size)``."""
+        self._windows.append((base, base + size))
+        self.stats.add("windows")
+
+    def revoke_all(self) -> None:
+        self._windows.clear()
+
+    def check_write(self, paddr: int, nbytes: int) -> None:
+        """Raise :class:`SecurityViolation` unless fully inside a window."""
+        end = paddr + nbytes
+        for base, limit in self._windows:
+            if base <= paddr and end <= limit:
+                self.stats.add("allowed")
+                return
+        self.stats.add("blocked")
+        raise SecurityViolation(
+            f"IOMMU blocked DMA write to {paddr:#x}", policy="iommu"
+        )
+
+
+class DmaEngine:
+    """A bus-mastering device (e.g. a compromised NIC/GPU driver target).
+
+    With an IOMMU attached, transfers are checked before reaching the
+    bus; without one, they land directly in physical memory — which is
+    the attack surface the paper's Discussion section describes.
+    """
+
+    def __init__(self, bus: MemoryBus, iommu: Iommu | None = None):
+        self.bus = bus
+        self.iommu = iommu
+        self.stats = StatSet("dma_engine")
+
+    def write_word(self, paddr: int, value: int) -> None:
+        """One device-initiated word write."""
+        if self.iommu is not None:
+            self.iommu.check_write(paddr, WORD_BYTES)
+        self.stats.add("writes")
+        self.bus.write(paddr, value, initiator="dma")
+
+    def write_block(self, paddr: int, nwords: int) -> None:
+        """A device-initiated burst."""
+        if self.iommu is not None:
+            self.iommu.check_write(paddr, nwords * WORD_BYTES)
+        self.stats.add("block_writes")
+        self.bus.write_block(paddr, nwords, initiator="dma")

@@ -1,0 +1,104 @@
+"""Sparse physical-memory model.
+
+Memory is stored as a dictionary of 64-bit words keyed by word-aligned
+physical address.  Unwritten words read as zero, matching DRAM that the
+boot firmware scrubbed.  The model is purely functional storage: *timing*
+lives in :class:`~repro.hw.dram.DramModel` and *visibility* (who gets to
+observe an access) lives in :class:`~repro.hw.bus.MemoryBus`.
+
+Multiple address ranges can be installed (e.g. motherboard DRAM plus the
+LogicTile daughterboard SDRAM of the paper's section 6 setup).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.config import WORD_BYTES
+from repro.errors import MemoryRangeError
+from repro.utils.bitops import require_aligned
+
+_WORD_MASK = (1 << 64) - 1
+
+
+class PhysicalMemory:
+    """Word-addressable sparse backing store with range checking."""
+
+    def __init__(self):
+        self._words: Dict[int, int] = {}
+        self._ranges: List[Tuple[int, int]] = []  # (base, limit) pairs
+
+    # ------------------------------------------------------------------
+    # Range management
+    # ------------------------------------------------------------------
+    def add_range(self, base: int, size: int) -> None:
+        """Install a physical address range ``[base, base + size)``.
+
+        Ranges may not overlap an existing one.
+        """
+        require_aligned(base, WORD_BYTES, "range base")
+        require_aligned(size, WORD_BYTES, "range size")
+        limit = base + size
+        for existing_base, existing_limit in self._ranges:
+            if base < existing_limit and existing_base < limit:
+                raise MemoryRangeError(
+                    f"range {base:#x}+{size:#x} overlaps existing "
+                    f"[{existing_base:#x}, {existing_limit:#x})"
+                )
+        self._ranges.append((base, limit))
+        self._ranges.sort()
+
+    def contains(self, paddr: int) -> bool:
+        """True if ``paddr`` falls inside an installed range."""
+        return any(base <= paddr < limit for base, limit in self._ranges)
+
+    def check(self, paddr: int) -> None:
+        """Raise :class:`MemoryRangeError` unless ``paddr`` is installed."""
+        if not self.contains(paddr):
+            raise MemoryRangeError(f"physical address {paddr:#x} is not backed")
+
+    @property
+    def ranges(self) -> List[Tuple[int, int]]:
+        """Installed ``(base, limit)`` pairs, sorted by base."""
+        return list(self._ranges)
+
+    # ------------------------------------------------------------------
+    # Word access
+    # ------------------------------------------------------------------
+    def read_word(self, paddr: int) -> int:
+        """Read the 64-bit word at word-aligned ``paddr``."""
+        require_aligned(paddr, WORD_BYTES)
+        self.check(paddr)
+        return self._words.get(paddr, 0)
+
+    def write_word(self, paddr: int, value: int) -> None:
+        """Write the 64-bit word at word-aligned ``paddr``."""
+        require_aligned(paddr, WORD_BYTES)
+        self.check(paddr)
+        value &= _WORD_MASK
+        if value:
+            self._words[paddr] = value
+        else:
+            # Keep the store sparse: zero is the reset value.
+            self._words.pop(paddr, None)
+
+    # ------------------------------------------------------------------
+    # Bulk helpers (functional, used by loaders and tests)
+    # ------------------------------------------------------------------
+    def fill(self, paddr: int, nwords: int, value: int = 0) -> None:
+        """Set ``nwords`` consecutive words starting at ``paddr``."""
+        for i in range(nwords):
+            self.write_word(paddr + i * WORD_BYTES, value)
+
+    def read_words(self, paddr: int, nwords: int) -> List[int]:
+        """Read ``nwords`` consecutive words starting at ``paddr``."""
+        return [self.read_word(paddr + i * WORD_BYTES) for i in range(nwords)]
+
+    def copy_words(self, src: int, dst: int, nwords: int) -> None:
+        """Copy ``nwords`` words from ``src`` to ``dst`` (non-overlapping)."""
+        for i in range(nwords):
+            self.write_word(dst + i * WORD_BYTES, self.read_word(src + i * WORD_BYTES))
+
+    def population(self) -> int:
+        """Number of non-zero words currently stored (for tests)."""
+        return len(self._words)

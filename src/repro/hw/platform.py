@@ -1,0 +1,58 @@
+"""Platform assembly: wires clock, memory, DRAM, bus, caches and GIC.
+
+:class:`Platform` is the hardware half of a simulated machine; the
+architecture layer (:mod:`repro.arch`) adds the CPU on top, and the
+system builders in :mod:`repro.core.hypernel` add kernel, hypervisor,
+Hypersec and MBM as required by each experimental configuration.
+"""
+
+from __future__ import annotations
+
+from repro.config import PlatformConfig, juno_r1
+from repro.hw.bus import MemoryBus
+from repro.hw.cache import Cache, CacheHierarchy
+from repro.hw.clock import Clock
+from repro.hw.dram import DramModel
+from repro.hw.interrupt import InterruptController
+from repro.hw.memory import PhysicalMemory
+
+#: IRQ line number assigned to the MBM (platform-specific choice).
+MBM_IRQ = 42
+
+
+class Platform:
+    """A fully wired hardware platform (no CPU yet)."""
+
+    def __init__(self, config: PlatformConfig | None = None):
+        self.config = config or juno_r1()
+        self.clock = Clock(self.config.cpu_freq_hz)
+        self.memory = PhysicalMemory()
+        self.memory.add_range(self.config.dram_base, self.config.dram_bytes)
+        self.dram = DramModel(
+            self.config.costs,
+            banks=self.config.dram_banks,
+            row_bytes=self.config.dram_row_bytes,
+        )
+        self.bus = MemoryBus(self.memory, self.dram, self.clock)
+        self.l1 = Cache("l1", self.config.l1_bytes, self.config.l1_ways)
+        self.l2 = Cache("l2", self.config.l2_bytes, self.config.l2_ways)
+        self.caches = CacheHierarchy(self.l1, self.l2, self.bus, self.config.costs)
+        self.gic = InterruptController()
+
+    @property
+    def secure_base(self) -> int:
+        """Base of the reserved secure physical region."""
+        return self.config.secure_base
+
+    @property
+    def secure_limit(self) -> int:
+        """First address past the secure region (== end of DRAM)."""
+        return self.config.dram_limit
+
+    def in_secure_region(self, paddr: int) -> bool:
+        """True if ``paddr`` lies in the reserved secure region."""
+        return self.secure_base <= paddr < self.secure_limit
+
+    def __repr__(self) -> str:
+        mb = self.config.dram_bytes // (1024 * 1024)
+        return f"Platform({mb} MB DRAM @ {self.config.dram_base:#x})"

@@ -1,0 +1,11 @@
+"""The KVM-like baseline hypervisor (nested paging).
+
+This is the comparison system of the paper's evaluation: a hypervisor
+that isolates itself from the guest kernel with **stage-2 translation**,
+paying the two-stage page-table-walk and world-switch costs that
+Hypernel is designed to avoid.
+"""
+
+from repro.hypervisor.kvm import KvmHypervisor
+
+__all__ = ["KvmHypervisor"]

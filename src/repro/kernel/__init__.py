@@ -1,0 +1,35 @@
+"""A simulated monolithic (Linux 3.10-flavoured) kernel.
+
+This is the workload substrate of the reproduction: real page tables in
+simulated physical memory, a page allocator with the 2 MB-section /
+4 KB-page linear-map choice of paper section 6.2, a slab allocator whose
+``cred`` and ``dentry`` objects are the monitoring targets of Table 2,
+processes with fork/exec/COW, a VFS with a dentry cache, signals, pipes
+and sockets for the LMbench operations of Table 1.
+
+Every architecturally visible action goes through the simulated CPU, so
+the Native / KVM-guest / Hypernel differences emerge from mechanism
+(page-table write routing, traps, nested walks) rather than constants.
+"""
+
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.objects import CRED, DENTRY, FILE_OBJ, INODE, PIPE, TASK_STRUCT
+from repro.kernel.pgtable_mgmt import (
+    DirectPgTableWriter,
+    HypercallPgTableWriter,
+    PgTableWriter,
+)
+
+__all__ = [
+    "CRED",
+    "DENTRY",
+    "DirectPgTableWriter",
+    "FILE_OBJ",
+    "HypercallPgTableWriter",
+    "INODE",
+    "Kernel",
+    "KernelConfig",
+    "PIPE",
+    "PgTableWriter",
+    "TASK_STRUCT",
+]

@@ -1,0 +1,38 @@
+"""Kernel interrupt plumbing for the MBM.
+
+Paper section 6.2: "we inserted a hypercall in the kernel interrupt
+handler to allow Hypersec to handle this interrupt."  The MBM's IRQ is
+taken by the kernel at EL1, whose stub immediately forwards into
+Hypersec via HVC; Hypersec then drains the MBM ring buffer and routes
+events to security applications.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.hypercalls import HVC_MBM_SERVICE
+from repro.hw.platform import MBM_IRQ
+from repro.utils.stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+
+class MbmIrqStub:
+    """The ~200-SLoC kernel patch's interrupt-forwarding half."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.stats = StatSet("mbm_irq_stub")
+
+    def install(self) -> None:
+        """Register with the interrupt controller for the MBM line."""
+        self.kernel.platform.gic.register(MBM_IRQ, self._handle)
+
+    def _handle(self, irq: int) -> None:
+        kernel = self.kernel
+        self.stats.add("irqs")
+        kernel.cpu.compute(kernel.costs.irq_entry)
+        kernel.cpu.hvc(HVC_MBM_SERVICE)
+        kernel.cpu.compute(kernel.costs.irq_exit)

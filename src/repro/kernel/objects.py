@@ -1,0 +1,224 @@
+"""Kernel object layouts with sensitive-field annotations.
+
+Table 2 of the paper monitors the *sensitive fields* of ``cred`` and
+``dentry`` objects (word granularity) versus the *entire* objects (the
+page-granularity estimator).  The ratio between the two is emergent from
+these layouts: reference counts, lock words and list pointers are written
+on every lookup/get/put, while the security-relevant identity fields are
+written essentially only at initialization — so monitoring only the
+sensitive words suppresses the hot traffic.
+
+Layouts are word-granular (8-byte words, matching the MBM bitmap
+granularity) and loosely follow the Linux 3.10 structures; exact offsets
+do not matter, only which fields are hot and which are sensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.config import WORD_BYTES
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named field of a kernel object."""
+
+    name: str
+    offset: int        #: offset in words from the object base
+    size: int = 1      #: size in words
+    sensitive: bool = False
+
+    @property
+    def byte_offset(self) -> int:
+        return self.offset * WORD_BYTES
+
+    @property
+    def byte_size(self) -> int:
+        return self.size * WORD_BYTES
+
+
+class ObjectLayout:
+    """A kernel object type: named fields over a fixed-size word span."""
+
+    def __init__(self, name: str, fields: Iterable[Field]):
+        self.name = name
+        self.fields: Dict[str, Field] = {}
+        cursor = 0
+        for field in fields:
+            if field.name in self.fields:
+                raise ValueError(f"{name}: duplicate field {field.name}")
+            if field.offset < cursor:
+                raise ValueError(
+                    f"{name}: field {field.name} overlaps its predecessor"
+                )
+            self.fields[field.name] = field
+            cursor = field.offset + field.size
+        self.size_words = cursor
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size_words * WORD_BYTES
+
+    def field(self, name: str) -> Field:
+        """Look up a field by name (KeyError when unknown)."""
+        return self.fields[name]
+
+    def sensitive_fields(self) -> List[Field]:
+        """Fields a word-granularity monitor would register."""
+        return [f for f in self.fields.values() if f.sensitive]
+
+    def sensitive_ranges(self, base_paddr: int) -> List[Tuple[int, int]]:
+        """Coalesced ``(paddr, nbytes)`` ranges of the sensitive fields of
+        an object instance at ``base_paddr``."""
+        ranges: List[Tuple[int, int]] = []
+        for field in sorted(self.sensitive_fields(), key=lambda f: f.offset):
+            start = base_paddr + field.byte_offset
+            if ranges and ranges[-1][0] + ranges[-1][1] == start:
+                prev_start, prev_len = ranges.pop()
+                ranges.append((prev_start, prev_len + field.byte_size))
+            else:
+                ranges.append((start, field.byte_size))
+        return ranges
+
+    def whole_range(self, base_paddr: int) -> Tuple[int, int]:
+        """The ``(paddr, nbytes)`` range covering the entire object —
+        what the paper's page-granularity estimator registers."""
+        return (base_paddr, self.size_bytes)
+
+    def __repr__(self) -> str:
+        return f"ObjectLayout({self.name}, {self.size_words} words)"
+
+
+#: Process credentials.  The identity and capability words are the
+#: rootkit target (privilege escalation, paper footnote 2); ``usage`` is
+#: the refcount written by every get_cred/put_cred.
+CRED = ObjectLayout(
+    "cred",
+    [
+        Field("usage", 0),                      # refcount — hot, not sensitive
+        Field("uid", 1, sensitive=True),
+        Field("gid", 2, sensitive=True),
+        Field("suid", 3, sensitive=True),
+        Field("sgid", 4, sensitive=True),
+        Field("euid", 5, sensitive=True),
+        Field("egid", 6, sensitive=True),
+        Field("fsuid", 7, sensitive=True),
+        Field("fsgid", 8, sensitive=True),
+        Field("securebits", 9, sensitive=True),
+        Field("cap_inheritable", 10, sensitive=True),
+        Field("cap_permitted", 11, sensitive=True),
+        Field("cap_effective", 12, sensitive=True),
+        Field("cap_bset", 13, sensitive=True),
+        Field("jit_keyring", 14),
+        Field("session_keyring", 15),
+        Field("process_keyring", 16),
+        Field("thread_keyring", 17),
+        Field("request_key_auth", 18),
+        Field("security", 19),
+        Field("user_struct", 20),
+    ],
+)
+
+#: Directory entry.  ``d_parent``/``d_name``/``d_inode``/``d_op`` decide
+#: which inode a path resolves to (paper footnote 2); ``d_lockref`` is
+#: written by every path-walk step, ``d_seq``/``d_flags`` by rename and
+#: state transitions.
+DENTRY = ObjectLayout(
+    "dentry",
+    [
+        Field("d_flags", 0),                    # hot
+        Field("d_seq", 1),                      # hot
+        Field("d_hash", 2),
+        Field("d_parent", 3, sensitive=True),
+        Field("d_name", 4, size=2, sensitive=True),
+        Field("d_inode", 6, sensitive=True),
+        Field("d_iname", 7, size=4),            # inline short name
+        Field("d_op", 11, sensitive=True),
+        Field("d_sb", 12, sensitive=True),
+        Field("d_lockref", 13),                 # hot: every dget/dput
+        Field("d_lru", 14, size=2),
+        Field("d_child", 16, size=2),
+        Field("d_subdirs", 18, size=2),
+        Field("d_alias", 20, size=2),
+        Field("d_time", 22),
+        Field("d_fsdata", 23),
+    ],
+)
+
+#: Index node (not monitored by the paper's solutions; present because
+#: the VFS needs it and extensions can monitor it).
+INODE = ObjectLayout(
+    "inode",
+    [
+        Field("i_mode", 0, sensitive=True),
+        Field("i_uid", 1, sensitive=True),
+        Field("i_gid", 2, sensitive=True),
+        Field("i_flags", 3),
+        Field("i_op", 4, sensitive=True),
+        Field("i_sb", 5),
+        Field("i_nlink", 6),
+        Field("i_size", 7),
+        Field("i_atime", 8),
+        Field("i_mtime", 9),
+        Field("i_ctime", 10),
+        Field("i_count", 11),                   # hot refcount
+        Field("i_mapping", 12),
+        Field("i_private", 13),
+    ],
+)
+
+#: Task structure (the ``cred`` pointer is the classic swap target).
+TASK_STRUCT = ObjectLayout(
+    "task_struct",
+    [
+        Field("state", 0),
+        Field("flags", 1),
+        Field("prio", 2),
+        Field("mm", 3),
+        Field("pid", 4),
+        Field("parent", 5),
+        Field("cred", 6, sensitive=True),       # pointer to the cred object
+        Field("comm", 7, size=2),
+        Field("sighand", 9),
+        Field("files", 10),
+        Field("fs", 11),
+        Field("usage", 12),                     # hot refcount
+        Field("sched_info", 13, size=3),
+    ],
+)
+
+#: Open-file object.
+FILE_OBJ = ObjectLayout(
+    "file",
+    [
+        Field("f_count", 0),                    # hot refcount
+        Field("f_flags", 1),
+        Field("f_mode", 2),
+        Field("f_pos", 3),
+        Field("f_dentry", 4, sensitive=True),
+        Field("f_op", 5, sensitive=True),
+        Field("f_cred", 6),
+        Field("private_data", 7),
+    ],
+)
+
+#: Pipe / socket-pair endpoint bookkeeping.
+PIPE = ObjectLayout(
+    "pipe",
+    [
+        Field("readers", 0),
+        Field("writers", 1),
+        Field("head", 2),
+        Field("tail", 3),
+        Field("buf_page", 4),
+        Field("wait_front", 5),
+        Field("wait_back", 6),
+    ],
+)
+
+ALL_LAYOUTS = {
+    layout.name: layout
+    for layout in (CRED, DENTRY, INODE, TASK_STRUCT, FILE_OBJ, PIPE)
+}

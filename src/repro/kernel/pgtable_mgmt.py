@@ -1,0 +1,93 @@
+"""Page-table update strategies.
+
+The kernel never touches descriptors through raw pointers; every runtime
+descriptor write funnels through a :class:`PgTableWriter`.  Which writer
+is installed is *the* difference between the experimental environments:
+
+* :class:`DirectPgTableWriter` — Native and KVM-guest: an ordinary
+  cached store through the linear map.
+* :class:`HypercallPgTableWriter` — Hypernel: the store is replaced by a
+  hypercall ("a la TZ-RKP", paper 5.2.1) that Hypersec verifies and
+  performs from EL2.
+
+The writers also see table-page lifecycle events so Hypernel can flip
+new table pages read-only before they go live (paper 6.2).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import SecurityViolation
+from repro.arch.cpu import CPUCore
+from repro.core.hypercalls import (
+    HVC_DENIED,
+    HVC_PGTABLE_ALLOC,
+    HVC_PGTABLE_FREE,
+    HVC_PGTABLE_WRITE,
+)
+from repro.kernel.physmem import LinearMap
+from repro.utils.stats import StatSet
+
+
+class PgTableWriter(abc.ABC):
+    """Strategy for runtime kernel page-table modification."""
+
+    def __init__(self):
+        self.stats = StatSet(type(self).__name__)
+
+    @abc.abstractmethod
+    def write_desc(self, desc_paddr: int, value: int, level: int) -> None:
+        """Write one translation-table descriptor.
+
+        ``level`` is the table level the descriptor belongs to (1-3);
+        the Hypernel path forwards it so Hypersec can apply the right
+        policy (table pointer vs leaf mapping).
+        """
+
+    def on_table_alloc(self, table_paddr: int, is_root: bool = False) -> None:
+        """A page was turned into a translation table."""
+
+    def on_table_free(self, table_paddr: int) -> None:
+        """A translation-table page was retired."""
+
+
+class DirectPgTableWriter(PgTableWriter):
+    """Plain stores through the linear map (Native / KVM-guest)."""
+
+    def __init__(self, cpu: CPUCore, linear_map: LinearMap):
+        super().__init__()
+        self.cpu = cpu
+        self.linear_map = linear_map
+
+    def write_desc(self, desc_paddr: int, value: int, level: int) -> None:
+        self.stats.add("desc_writes")
+        self.cpu.write(self.linear_map.kva(desc_paddr), value)
+
+
+class HypercallPgTableWriter(PgTableWriter):
+    """Descriptor writes routed through Hypersec (Hypernel)."""
+
+    def __init__(self, cpu: CPUCore):
+        super().__init__()
+        self.cpu = cpu
+
+    def write_desc(self, desc_paddr: int, value: int, level: int) -> None:
+        self.stats.add("desc_writes")
+        self.stats.add("hypercalls")
+        result = self.cpu.hvc(HVC_PGTABLE_WRITE, desc_paddr, value, level)
+        if result == HVC_DENIED:
+            raise SecurityViolation(
+                f"Hypersec denied page-table write at {desc_paddr:#x}",
+                policy="pgtable",
+            )
+
+    def on_table_alloc(self, table_paddr: int, is_root: bool = False) -> None:
+        self.stats.add("table_allocs")
+        self.stats.add("hypercalls")
+        self.cpu.hvc(HVC_PGTABLE_ALLOC, table_paddr, int(is_root))
+
+    def on_table_free(self, table_paddr: int) -> None:
+        self.stats.add("table_frees")
+        self.stats.add("hypercalls")
+        self.cpu.hvc(HVC_PGTABLE_FREE, table_paddr)

@@ -1,0 +1,197 @@
+"""Physical page allocation and the kernel linear map.
+
+Two pieces live here:
+
+* :class:`PageAllocator` — a free-list allocator over the kernel-usable
+  part of DRAM (everything between the kernel image and the secure
+  region), with per-purpose accounting.
+
+* :class:`LinearMap` — the kernel's direct mapping of physical memory at
+  ``KERNEL_VA_BASE``.  Paper section 6.2 is about exactly this map: the
+  vanilla AArch64 Linux kernel maps it with **2 MB sections**, so a page
+  table sharing a section with unrelated data cannot be write-protected
+  on its own (the protection-granularity gap); Hypernel's modified
+  kernel maps it with **4 KB pages** so each page-table page can be made
+  read-only exactly.  Both modes are implemented; the mode is the knob
+  for ablation B.
+
+The boot-time construction writes descriptors with the bus backdoor
+(firmware runs before measurement); *runtime* modifications go through
+the kernel's page-table writer strategy so they are verified under
+Hypernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config import PAGE_BYTES, SECTION_BYTES
+from repro.errors import AllocationError, ConfigurationError
+from repro.hw.platform import Platform
+from repro.arch.pagetable import (
+    KERNEL_VA_BASE,
+    index_for_level,
+    make_block_desc,
+    make_page_desc,
+    make_table_desc,
+)
+from repro.utils.bitops import align_up, is_aligned
+from repro.utils.stats import StatSet
+
+
+class PageAllocator:
+    """Free-list allocator for 4 KB physical pages."""
+
+    def __init__(self, base: int, limit: int):
+        if not is_aligned(base, PAGE_BYTES) or not is_aligned(limit, PAGE_BYTES):
+            raise ConfigurationError("allocator bounds must be page-aligned")
+        if limit <= base:
+            raise ConfigurationError("allocator range is empty")
+        self.base = base
+        self.limit = limit
+        self._free: List[int] = list(range(limit - PAGE_BYTES, base - 1, -PAGE_BYTES))
+        self._allocated: Dict[int, str] = {}
+        self.stats = StatSet("page_allocator")
+
+    def alloc(self, purpose: str = "anon") -> int:
+        """Allocate one page; returns its physical address."""
+        if not self._free:
+            raise AllocationError("out of physical pages")
+        paddr = self._free.pop()
+        self._allocated[paddr] = purpose
+        self.stats.add(f"alloc.{purpose}")
+        return paddr
+
+    def free(self, paddr: int) -> None:
+        """Return a page to the free list."""
+        purpose = self._allocated.pop(paddr, None)
+        if purpose is None:
+            raise AllocationError(f"freeing unallocated page {paddr:#x}")
+        self.stats.add(f"free.{purpose}")
+        self._free.append(paddr)
+
+    def purpose_of(self, paddr: int) -> Optional[str]:
+        """Purpose tag of an allocated page, or ``None``."""
+        return self._allocated.get(paddr)
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_pages(self) -> int:
+        return len(self._allocated)
+
+
+class LinearMap:
+    """The kernel's direct physical mapping at ``KERNEL_VA_BASE``.
+
+    ``mode`` is ``"page"`` (4 KB leaf descriptors — the Hypernel-patched
+    kernel) or ``"section"`` (2 MB blocks — the vanilla kernel).
+    """
+
+    def __init__(self, platform: Platform, mode: str = "page"):
+        if mode not in ("page", "section"):
+            raise ConfigurationError(f"unknown linear-map mode {mode!r}")
+        self.platform = platform
+        self.mode = mode
+        self.root = 0
+        #: physical pages holding the linear-map translation tables
+        self.table_pages: Set[int] = set()
+        self._table_cursor = 0
+        self._table_limit = 0
+
+    # ------------------------------------------------------------------
+    # Address conversion
+    # ------------------------------------------------------------------
+    def kva(self, paddr: int) -> int:
+        """Kernel virtual address of a physical address."""
+        return KERNEL_VA_BASE + (paddr - self.platform.config.dram_base)
+
+    def pa(self, kvaddr: int) -> int:
+        """Physical address of a kernel linear-map virtual address."""
+        return self.platform.config.dram_base + (kvaddr - KERNEL_VA_BASE)
+
+    # ------------------------------------------------------------------
+    # Boot-time construction
+    # ------------------------------------------------------------------
+    def _alloc_table(self) -> int:
+        if self._table_cursor >= self._table_limit:
+            raise AllocationError("linear-map table pool exhausted")
+        paddr = self._table_cursor
+        self._table_cursor += PAGE_BYTES
+        self.table_pages.add(paddr)
+        for offset in range(0, PAGE_BYTES, 8):
+            self.platform.bus.poke(paddr + offset, 0)
+        return paddr
+
+    def build(self, table_pool_base: int, table_pool_limit: int) -> int:
+        """Construct the map for all non-secure DRAM; returns the root.
+
+        ``table_pool_*`` bound the physical region the boot code carves
+        translation tables from (part of the kernel image reservation).
+        """
+        self._table_cursor = table_pool_base
+        self._table_limit = table_pool_limit
+        self.root = self._alloc_table()
+        config = self.platform.config
+        base = config.dram_base
+        limit = self.platform.secure_base  # the secure region is NOT mapped
+        bus = self.platform.bus
+
+        l2_tables: Dict[int, int] = {}
+        l3_tables: Dict[int, int] = {}
+
+        def l2_for(offset: int) -> int:
+            index = index_for_level(offset, 1)
+            if index not in l2_tables:
+                table = self._alloc_table()
+                bus.poke(self.root + index * 8, make_table_desc(table))
+                l2_tables[index] = table
+            return l2_tables[index]
+
+        if self.mode == "section":
+            for paddr in range(base, align_up(limit, SECTION_BYTES), SECTION_BYTES):
+                offset = paddr - base
+                l2 = l2_for(offset)
+                desc = make_block_desc(paddr, writable=True, cacheable=True)
+                bus.poke(l2 + index_for_level(offset, 2) * 8, desc)
+        else:
+            for paddr in range(base, limit, PAGE_BYTES):
+                offset = paddr - base
+                l2 = l2_for(offset)
+                section_index = offset // SECTION_BYTES
+                if section_index not in l3_tables:
+                    table = self._alloc_table()
+                    bus.poke(
+                        l2 + index_for_level(offset, 2) * 8, make_table_desc(table)
+                    )
+                    l3_tables[section_index] = table
+                desc = make_page_desc(paddr, writable=True, cacheable=True)
+                bus.poke(l3_tables[section_index] + index_for_level(offset, 3) * 8, desc)
+        return self.root
+
+    # ------------------------------------------------------------------
+    # Runtime descriptor location (used to retune attributes of a page)
+    # ------------------------------------------------------------------
+    def leaf_desc_addr(self, paddr: int) -> Tuple[int, int]:
+        """Locate the leaf descriptor mapping physical page ``paddr``.
+
+        Returns ``(descriptor_paddr, leaf_level)`` where leaf_level is 2
+        in section mode and 3 in page mode.  Walks the real tables with
+        backdoor reads (maintenance path, timing charged by callers).
+        """
+        offset = paddr - self.platform.config.dram_base
+        bus = self.platform.bus
+        l1_desc = bus.peek(self.root + index_for_level(offset, 1) * 8)
+        if not l1_desc & 1:
+            raise AllocationError(f"paddr {paddr:#x} not covered by linear map")
+        l2 = l1_desc & ~0xFFF & ((1 << 48) - 1)
+        l2_addr = l2 + index_for_level(offset, 2) * 8
+        l2_desc = bus.peek(l2_addr)
+        if not l2_desc & 1:
+            raise AllocationError(f"paddr {paddr:#x} not covered by linear map")
+        if not l2_desc & 2:  # block: section mode leaf
+            return l2_addr, 2
+        l3 = l2_desc & ~0xFFF & ((1 << 48) - 1)
+        return l3 + index_for_level(offset, 3) * 8, 3

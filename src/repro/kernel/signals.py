@@ -1,0 +1,67 @@
+"""Signal installation and delivery (LMbench ``signal install/ovh``).
+
+Installation writes the handler slot; delivery pushes a signal frame
+onto the user stack (real user-memory writes through the MMU), "runs"
+the handler and returns via sigreturn.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import PAGE_BYTES, WORD_BYTES
+from repro.errors import SimulationError
+from repro.kernel.process import Task
+from repro.utils.stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+#: words in a (modelled) signal frame pushed on the user stack.
+SIGFRAME_WORDS = 36
+
+
+class SignalManager:
+    """sigaction / kill / sigreturn."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.stats = StatSet("signals")
+
+    def sigaction(self, task: Task, signum: int, handler: int) -> None:
+        """Install a handler (the ``signal install`` micro-op)."""
+        if not 1 <= signum <= 64:
+            raise SimulationError(f"bad signal number {signum}")
+        kernel = self.kernel
+        kernel.cpu.compute(kernel.op_costs.sigaction_base)
+        task.sigactions[signum] = handler
+        # The sighand table lives in the task page; charge the slot write.
+        kernel.kwrite(
+            kernel.linear_map.kva(task.task_pa) + 9 * WORD_BYTES, handler
+        )
+        self.stats.add("installed")
+
+    def deliver(self, task: Task, signum: int,
+                handler_compute: int = 150) -> None:
+        """Send+deliver a signal to the current task and sigreturn.
+
+        Models LMbench's ``signal ovh``: kill(self), frame setup on the
+        user stack, handler execution, sigreturn trap.
+        """
+        kernel = self.kernel
+        if signum not in task.sigactions:
+            raise SimulationError(f"no handler installed for signal {signum}")
+        kernel.cpu.compute(kernel.op_costs.signal_deliver_base)
+        # Push the signal frame onto the user stack.
+        sp = kernel.vmm.STACK_TOP - PAGE_BYTES // 2
+        kernel.vmm.user_touch(task.mm, sp, is_write=True, value=1)
+        kernel.cpu.write_block(sp - SIGFRAME_WORDS * WORD_BYTES, SIGFRAME_WORDS, el=0)
+        # Handler runs at EL0.
+        kernel.cpu.compute(handler_compute)
+        # sigreturn: another kernel entry to restore the context.
+        kernel.cpu.compute(
+            kernel.costs.svc_entry + kernel.op_costs.sigreturn_base
+            + kernel.costs.svc_exit
+        )
+        kernel.cpu.read_block(sp - SIGFRAME_WORDS * WORD_BYTES, SIGFRAME_WORDS, el=0)
+        self.stats.add("delivered")

@@ -1,0 +1,22 @@
+"""Dentry integrity monitor (word granularity).
+
+The second evaluated monitor (paper 7.2, footnote 2: "seizing the
+control of a dentry enables the attacker to access its inode and
+manipulate it").  It registers the sensitive identity words of every
+live dentry — ``d_parent``, ``d_name``, ``d_inode``, ``d_op``, ``d_sb``
+— leaving the per-lookup ``d_lockref`` churn unmonitored.
+"""
+
+from __future__ import annotations
+
+from repro.security.app import RegionTemplate, SecurityApp
+
+
+class DentryIntegrityMonitor(SecurityApp):
+    """Watches the sensitive words of every dentry object."""
+
+    def __init__(self):
+        super().__init__(
+            "dentry_monitor",
+            [RegionTemplate("dentry", coverage="sensitive")],
+        )

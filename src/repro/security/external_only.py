@@ -1,0 +1,76 @@
+"""A stand-alone external bus monitor (KI-Mon-like), *without* Hypersec.
+
+Reproduces the weakness the paper cites in sections 2 and 5.3: an
+external monitor "cannot know the information inside a processor" — it
+is configured once with the physical addresses of objects to watch and
+has no view of the kernel's virtual-to-physical mappings.  The Address
+Translation Redirection Attack (ATRA, Jang et al. CCS'14) relocates the
+kernel's mapping of a monitored object to a fresh physical page; the
+kernel then operates on the copy while the monitor stares at the stale
+original and sees nothing.
+
+Hypernel closes this hole because Hypersec *does* see the processor
+state: kernel page-table updates pass through it, and a remap of a
+monitored region is denied (see
+:meth:`repro.core.hypersec.Hypersec._check_leaf`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.config import WORD_BYTES
+from repro.core.mbm.mbm import MemoryBusMonitor
+from repro.security.app import Alert
+from repro.utils.stats import StatSet
+
+
+class ExternalOnlyMonitor:
+    """Drives an MBM directly, with boot-time static physical addresses.
+
+    No Hypersec, no hooks, no VA->PA knowledge: the integrator writes
+    the bitmap via the device backdoor at configuration time and polls
+    the ring buffer.  (Real external monitors also required the
+    monitored region to be uncacheable; the boot configuration is
+    assumed to provide that, which :func:`configure` models with a
+    direct descriptor retune.)
+    """
+
+    def __init__(self, mbm: MemoryBusMonitor):
+        self.mbm = mbm
+        self.alerts: List[Alert] = []
+        self.stats = StatSet("external_monitor")
+        self._shadow: Dict[int, int] = {}
+        self._regions: List[Tuple[int, int]] = []
+
+    def watch_range(self, base_paddr: int, size: int) -> None:
+        """Statically configure one physical range (boot-time setup)."""
+        bus = self.mbm.platform.bus
+        for word_addr, mask in self.mbm.bitmap.words_for_range(base_paddr, size):
+            bus.poke(word_addr, bus.peek(word_addr) | mask)
+        self.mbm.bitmap_cache.invalidate_all()
+        for addr in range(base_paddr, base_paddr + size, WORD_BYTES):
+            self._shadow[addr] = bus.peek(addr)
+        self._regions.append((base_paddr, base_paddr + size))
+        self.stats.add("ranges_watched")
+
+    def poll(self) -> int:
+        """Drain the ring and integrity-check events (KI-Mon style).
+
+        Returns the number of events processed.
+        """
+        events = self.mbm.ring.consume_all()
+        for addr, value in events:
+            self.stats.add("events")
+            expected = self._shadow.get(addr)
+            if expected is not None and value not in (expected, (1 << 64) - 1):
+                self.alerts.append(
+                    Alert("external_monitor", addr, value, expected,
+                          "unauthorized modification")
+                )
+                self._shadow[addr] = value
+        return len(events)
+
+    def shadow_value(self, addr: int):
+        """The monitor's belief about a monitored word (for tests)."""
+        return self._shadow.get(addr)

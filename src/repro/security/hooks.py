@@ -1,0 +1,102 @@
+"""The kernel-side monitoring hooks (part of the ~200 SLoC kernel patch).
+
+Paper 5.3 / Figure 4, green path: "The security application informs
+Hypersec with new regions to be monitored via the hooks inserted into
+the kernel code.  When the hook (hypercall) is executed, Hypersec
+receives the ID of the security application (SID), the base address and
+the size of the region as arguments."
+
+The stub subscribes to the kernel's object allocation/free hooks and, for
+each registered application that wants the object's type, issues the
+HVC_REGISTER_REGION / HVC_UNREGISTER_REGION hypercalls with kernel
+virtual addresses (Hypersec does the VA->PA translation, as the paper
+describes).
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.core.hypercalls import (
+    HVC_OK,
+    HVC_REGISTER_REGION,
+    HVC_UNREGISTER_REGION,
+)
+from repro.errors import SecurityViolation
+from repro.kernel.objects import ObjectLayout
+from repro.utils.stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.security.app import SecurityApp
+
+
+class MonitorHookStub:
+    """Connects kernel object lifecycle to Hypersec region hypercalls."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.apps: List["SecurityApp"] = []
+        self.stats = StatSet("monitor_hooks")
+        self._installed = False
+
+    def add_app(self, app: "SecurityApp") -> None:
+        """Route events for ``app`` (must already have a SID)."""
+        if app.sid is None:
+            raise SecurityViolation(
+                f"app {app.name} has no SID; register with Hypersec first",
+                policy="hooks",
+            )
+        self.apps.append(app)
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        self.kernel.object_alloc.subscribe(self._on_alloc)
+        self.kernel.object_free.subscribe(self._on_free)
+        self.kernel.authorized_update.subscribe(self._on_authorized)
+        self._installed = True
+
+    # ------------------------------------------------------------------
+    def _on_alloc(self, layout: ObjectLayout, obj_paddr: int) -> None:
+        for app in self.apps:
+            if not app.wants(layout):
+                continue
+            for base, size in app.regions_for(layout, obj_paddr):
+                self.stats.add("register_hvc")
+                result = self.kernel.cpu.hvc(
+                    HVC_REGISTER_REGION,
+                    app.sid,
+                    self.kernel.linear_map.kva(base),
+                    size,
+                )
+                if result != HVC_OK:
+                    raise SecurityViolation(
+                        f"Hypersec rejected region registration at {base:#x}",
+                        policy="hooks",
+                    )
+                # The app (in the secure space) snapshots the fresh
+                # region to seed its shadow state.
+                snapshot = [
+                    self.kernel.platform.bus.peek(base + off)
+                    for off in range(0, size, 8)
+                ]
+                app.on_region_registered(base, size, snapshot)
+
+    def _on_free(self, layout: ObjectLayout, obj_paddr: int) -> None:
+        for app in self.apps:
+            if not app.wants(layout):
+                continue
+            for base, size in app.regions_for(layout, obj_paddr):
+                self.stats.add("unregister_hvc")
+                self.kernel.cpu.hvc(
+                    HVC_UNREGISTER_REGION,
+                    app.sid,
+                    self.kernel.linear_map.kva(base),
+                    size,
+                )
+                app.on_region_unregistered(base, size)
+
+    def _on_authorized(self, word_paddr: int, value: int) -> None:
+        for app in self.apps:
+            app.on_authorized(word_paddr, value)

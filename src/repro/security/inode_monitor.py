@@ -1,0 +1,25 @@
+"""Inode integrity monitor — an extension beyond the paper's two apps.
+
+The paper's evaluated solutions watch ``cred`` and ``dentry``; the MBM's
+SID mechanism explicitly supports multiple applications (section 5.3),
+so adding a third monitor is pure configuration.  Inodes are a classic
+rootkit target too: flipping ``i_mode``/``i_uid`` silently makes a file
+setuid-root, and swapping ``i_op`` hijacks its operations table.
+
+The hot ``i_count`` refcount and size/time stamps stay unmonitored —
+the same word-granularity economy as the paper's monitors.
+"""
+
+from __future__ import annotations
+
+from repro.security.app import RegionTemplate, SecurityApp
+
+
+class InodeIntegrityMonitor(SecurityApp):
+    """Watches the sensitive words of every inode object."""
+
+    def __init__(self):
+        super().__init__(
+            "inode_monitor",
+            [RegionTemplate("inode", coverage="sensitive")],
+        )

@@ -1,0 +1,5 @@
+"""Developer tooling: bus tracing and system reports."""
+
+from repro.tools.trace import BusTracer, TraceRecord
+
+__all__ = ["BusTracer", "TraceRecord"]

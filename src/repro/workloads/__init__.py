@@ -1,0 +1,30 @@
+"""Workloads: LMbench micro-operations and application models.
+
+:mod:`repro.workloads.lmbench` drives the nine kernel operations of the
+paper's Table 1; :mod:`repro.workloads.apps` models the five application
+benchmarks (whetstone, dhrystone, untar, iozone, apache) used in
+Figure 6 and Table 2.
+"""
+
+from repro.workloads.apps import (
+    ApacheWorkload,
+    ApplicationWorkload,
+    DhrystoneWorkload,
+    IozoneWorkload,
+    UntarWorkload,
+    WhetstoneWorkload,
+    default_applications,
+)
+from repro.workloads.lmbench import LMBENCH_OPS, LmbenchSuite
+
+__all__ = [
+    "ApacheWorkload",
+    "ApplicationWorkload",
+    "DhrystoneWorkload",
+    "IozoneWorkload",
+    "LMBENCH_OPS",
+    "LmbenchSuite",
+    "UntarWorkload",
+    "WhetstoneWorkload",
+    "default_applications",
+]

@@ -1,0 +1,223 @@
+"""Unit tests for the CPU core: access, MSR trapping, HVC, VM exits."""
+
+import pytest
+
+from repro.errors import SimulationError, Stage2Fault, TrappedInstruction
+from repro.arch.cpu import CPUCore
+from repro.arch.exceptions import EL2, EL2Vector
+from repro.arch.pagetable import KERNEL_VA_BASE
+from repro.arch.registers import HCR_TVM, HCR_VM
+from tests.helpers import TableBuilder, cpu_with_kernel_map, small_platform
+
+BASE = 0x8000_0000
+
+
+class RecordingVector(EL2Vector):
+    """An EL2 resident that records everything routed to it."""
+
+    def __init__(self):
+        self.hvc_calls = []
+        self.msr_calls = []
+        self.s2_faults = []
+
+    def handle_hvc(self, cpu, func, args):
+        assert cpu.current_el == EL2
+        self.hvc_calls.append((func, tuple(args)))
+        return 0xE0 + func
+
+    def handle_trapped_msr(self, cpu, register, value):
+        assert cpu.current_el == EL2
+        self.msr_calls.append((register, value))
+        cpu.regs.write(register, value)
+
+    def handle_stage2_fault(self, cpu, fault):
+        self.s2_faults.append(fault)
+        # Install the missing stage-2 mapping (identity) and return.
+        builder = self._builder
+        builder.map_page(fault.ipa & ~0xFFF, fault.ipa & ~0xFFF)
+        cpu.mmu.invalidate_stage2()
+
+
+class TestMemoryAccess:
+    def test_read_write_via_kernel_map(self):
+        cpu, _ = cpu_with_kernel_map()
+        vaddr = KERNEL_VA_BASE + 0x9000
+        cpu.write(vaddr, 0x1122)
+        assert cpu.read(vaddr) == 0x1122
+
+    def test_block_write_spanning_pages(self):
+        cpu, _ = cpu_with_kernel_map()
+        vaddr = KERNEL_VA_BASE + 0x9F00  # crosses into the next page
+        cpu.write_block(vaddr, 100)
+        assert cpu.stats.get("block_write_words") == 100
+
+    def test_compute_charges_cycles(self):
+        cpu, _ = cpu_with_kernel_map()
+        before = cpu.clock.now
+        cpu.compute(500)
+        assert cpu.clock.now == before + 500
+
+    def test_split_pages_chunking(self):
+        chunks = CPUCore._split_pages(KERNEL_VA_BASE + 4096 - 16, 10)
+        assert chunks == [
+            (KERNEL_VA_BASE + 4096 - 16, 2),
+            (KERNEL_VA_BASE + 4096, 8),
+        ]
+
+
+class TestMsrTrapping:
+    def test_untrapped_msr_writes_directly(self):
+        cpu = CPUCore(small_platform())
+        cpu.msr("TTBR1_EL1", 0x8000_1000)
+        assert cpu.regs.read("TTBR1_EL1") == 0x8000_1000
+
+    def test_tvm_traps_vm_register_writes(self):
+        cpu = CPUCore(small_platform())
+        vector = RecordingVector()
+        cpu.install_el2_vector(vector)
+        cpu.regs.set_bits("HCR_EL2", HCR_TVM)
+        cpu.msr("TTBR1_EL1", 0x8000_2000)
+        assert vector.msr_calls == [("TTBR1_EL1", 0x8000_2000)]
+        assert cpu.regs.read("TTBR1_EL1") == 0x8000_2000
+        assert cpu.stats.get("trapped_msr") == 1
+
+    def test_trap_charges_transition_cycles(self):
+        cpu = CPUCore(small_platform())
+        cpu.install_el2_vector(RecordingVector())
+        cpu.regs.set_bits("HCR_EL2", HCR_TVM)
+        before = cpu.clock.now
+        cpu.msr("TTBR0_EL1", 0x8000_3000)
+        costs = cpu.costs
+        assert cpu.clock.now >= before + costs.trap_entry + costs.trap_exit
+
+    def test_el2_writes_never_trap(self):
+        cpu = CPUCore(small_platform())
+        vector = RecordingVector()
+        cpu.install_el2_vector(vector)
+        cpu.regs.set_bits("HCR_EL2", HCR_TVM)
+        cpu.current_el = EL2
+        cpu.msr("TTBR1_EL1", 0x8000_4000)
+        assert vector.msr_calls == []
+
+    def test_el1_cannot_touch_el2_registers(self):
+        cpu = CPUCore(small_platform())
+        with pytest.raises(TrappedInstruction):
+            cpu.msr("HCR_EL2", 0)
+        with pytest.raises(TrappedInstruction):
+            cpu.mrs("VTTBR_EL2")
+
+    def test_mrs_not_trapped_by_tvm(self):
+        cpu = CPUCore(small_platform())
+        vector = RecordingVector()
+        cpu.install_el2_vector(vector)
+        cpu.regs.set_bits("HCR_EL2", HCR_TVM)
+        cpu.regs.write("TTBR1_EL1", 0x77000)
+        assert cpu.mrs("TTBR1_EL1") == 0x77000
+        assert vector.msr_calls == []
+
+
+class TestHvc:
+    def test_hvc_routes_to_vector(self):
+        cpu = CPUCore(small_platform())
+        vector = RecordingVector()
+        cpu.install_el2_vector(vector)
+        result = cpu.hvc(3, 10, 20)
+        assert result == 0xE3
+        assert vector.hvc_calls == [(3, (10, 20))]
+
+    def test_hvc_without_el2_resident_rejected(self):
+        cpu = CPUCore(small_platform())
+        with pytest.raises(SimulationError):
+            cpu.hvc(1)
+
+    def test_hvc_restores_el_on_handler_error(self):
+        cpu = CPUCore(small_platform())
+
+        class Exploder(RecordingVector):
+            def handle_hvc(self, cpu, func, args):
+                raise RuntimeError("boom")
+
+        cpu.install_el2_vector(Exploder())
+        with pytest.raises(RuntimeError):
+            cpu.hvc(1)
+        assert cpu.current_el == 1
+
+
+class TestVmExitRetry:
+    def test_stage2_fault_triggers_vm_exit_and_retry(self):
+        platform = small_platform()
+        cpu = CPUCore(platform)
+        s1 = TableBuilder(platform, BASE + 0x10_0000)
+        s2 = TableBuilder(platform, BASE + 0x20_0000)
+        vector = RecordingVector()
+        vector._builder = s2
+        guest_va = KERNEL_VA_BASE + 0x30_0000
+        ipa = BASE + 0x100_0000
+        s1.map_page(guest_va, ipa)
+        for table_off in range(0, 0x10_000, 4096):
+            s2.map_page(BASE + 0x10_0000 + table_off, BASE + 0x10_0000 + table_off)
+        # No stage-2 mapping for `ipa`: first access must VM-exit.
+        cpu.regs.write("TTBR1_EL1", s1.root)
+        cpu.regs.set_bits("SCTLR_EL1", 1)
+        cpu.regs.write("VTTBR_EL2", s2.root)
+        cpu.regs.set_bits("HCR_EL2", HCR_VM)
+        cpu.install_el2_vector(vector)
+        cpu.write(guest_va, 0x55)
+        assert cpu.stats.get("vm_exits") == 1
+        assert len(vector.s2_faults) == 1
+        assert cpu.read(guest_va) == 0x55
+        assert cpu.stats.get("vm_exits") == 1  # mapped now, no more exits
+
+    def test_stage2_fault_without_vector_propagates(self):
+        platform = small_platform()
+        cpu = CPUCore(platform)
+        s1 = TableBuilder(platform, BASE + 0x10_0000)
+        guest_va = KERNEL_VA_BASE + 0x30_0000
+        s1.map_page(guest_va, BASE + 0x100_0000)
+        cpu.regs.write("TTBR1_EL1", s1.root)
+        cpu.regs.set_bits("SCTLR_EL1", 1)
+        cpu.regs.write("VTTBR_EL2", BASE + 0x20_0000)
+        platform.bus.poke(BASE + 0x20_0000, 0)
+        cpu.regs.set_bits("HCR_EL2", HCR_VM)
+        with pytest.raises(Stage2Fault):
+            cpu.read(guest_va)
+
+    def test_livelock_detected(self):
+        platform = small_platform()
+        cpu = CPUCore(platform)
+
+        class DoNothing(RecordingVector):
+            def handle_stage2_fault(self, cpu, fault):
+                self.s2_faults.append(fault)  # never fixes the mapping
+
+        vector = DoNothing()
+        s1 = TableBuilder(platform, BASE + 0x10_0000)
+        guest_va = KERNEL_VA_BASE + 0x30_0000
+        s1.map_page(guest_va, BASE + 0x100_0000)
+        s2 = TableBuilder(platform, BASE + 0x20_0000)
+        for table_off in range(0, 0x10_000, 4096):
+            s2.map_page(BASE + 0x10_0000 + table_off, BASE + 0x10_0000 + table_off)
+        cpu.regs.write("TTBR1_EL1", s1.root)
+        cpu.regs.set_bits("SCTLR_EL1", 1)
+        cpu.regs.write("VTTBR_EL2", s2.root)
+        cpu.regs.set_bits("HCR_EL2", HCR_VM)
+        cpu.install_el2_vector(vector)
+        with pytest.raises(SimulationError):
+            cpu.read(guest_va)
+
+
+class TestTlbiInstructions:
+    def test_tlbi_all(self):
+        cpu, _ = cpu_with_kernel_map()
+        cpu.read(KERNEL_VA_BASE)
+        assert len(cpu.mmu.tlb) > 0
+        cpu.tlbi_all()
+        assert len(cpu.mmu.tlb) == 0
+
+    def test_tlbi_va_page_selective(self):
+        cpu, _ = cpu_with_kernel_map()
+        cpu.read(KERNEL_VA_BASE)
+        cpu.read(KERNEL_VA_BASE + 0x1000)
+        entries = len(cpu.mmu.tlb)
+        cpu.tlbi_va(KERNEL_VA_BASE)
+        assert len(cpu.mmu.tlb) == entries - 1

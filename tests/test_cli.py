@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+FAST = ["--dram-mb", "64", "--scale", "0.02"]
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "hypernel" in out
+        assert "stage2" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "word-granularity" in out
+        assert "overall word/page ratio" in out
+
+    def test_attacks(self, capsys):
+        assert main(["attacks", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "SILENT SUCCESS" in out   # native section
+        assert "BLOCKED" in out          # hypernel section
+
+    def test_audit(self, capsys):
+        assert main(["audit", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "audit clean" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

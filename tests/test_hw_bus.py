@@ -1,0 +1,111 @@
+"""Unit tests for the memory bus: transfers, timing, snooping."""
+
+import pytest
+
+from repro.hw.bus import BusTransaction, TxnKind
+from tests.helpers import small_platform
+
+BASE = 0x8000_0000
+
+
+@pytest.fixture
+def platform():
+    return small_platform()
+
+
+@pytest.fixture
+def captured(platform):
+    log = []
+    platform.bus.attach_snooper(log.append)
+    return log
+
+
+class TestWordTransfers:
+    def test_write_then_read(self, platform):
+        platform.bus.write(BASE, 0x1234)
+        assert platform.bus.read(BASE) == 0x1234
+
+    def test_write_charges_time(self, platform):
+        before = platform.clock.now
+        platform.bus.write(BASE, 1)
+        assert platform.clock.now > before
+
+    def test_uncharged_access_leaves_clock(self, platform):
+        before = platform.clock.now
+        platform.bus.read(BASE, charge=False)
+        assert platform.clock.now == before
+
+    def test_snooper_sees_write_value(self, platform, captured):
+        platform.bus.write(BASE + 8, 0xAB, initiator="dma")
+        txn = captured[-1]
+        assert txn.kind is TxnKind.WRITE
+        assert txn.paddr == BASE + 8
+        assert txn.value == 0xAB
+        assert txn.initiator == "dma"
+
+    def test_snooper_sees_reads(self, platform, captured):
+        platform.bus.read(BASE)
+        assert captured[-1].kind is TxnKind.READ
+        assert captured[-1].value is None
+
+    def test_detach_snooper(self, platform, captured):
+        platform.bus.detach_snooper(captured.append)
+        platform.bus.write(BASE, 1)
+        assert captured == []
+
+
+class TestLineTransfers:
+    def test_fill_line_notifies(self, platform, captured):
+        platform.bus.fill_line(BASE)
+        assert captured[-1].kind is TxnKind.LINE_FILL
+        assert captured[-1].nwords == 8
+
+    def test_writeback_carries_no_value(self, platform, captured):
+        platform.bus.writeback_line(BASE)
+        txn = captured[-1]
+        assert txn.kind is TxnKind.WRITEBACK
+        assert txn.value is None
+        assert txn.is_write_like
+
+
+class TestBlockTransfers:
+    def test_block_write_reports_range(self, platform, captured):
+        platform.bus.write_block(BASE, 100)
+        txn = captured[-1]
+        assert txn.kind is TxnKind.BLOCK_WRITE
+        assert txn.nwords == 100
+        assert txn.is_write_like
+
+    def test_zero_block_is_noop(self, platform, captured):
+        platform.bus.write_block(BASE, 0)
+        assert captured == []
+
+    def test_block_write_cheaper_than_words(self, platform):
+        start = platform.clock.now
+        platform.bus.write_block(BASE, 64)
+        burst = platform.clock.now - start
+        start = platform.clock.now
+        for i in range(64):
+            platform.bus.write(BASE + 0x10000 + i * 8, 0)
+        individual = platform.clock.now - start
+        assert burst < individual
+
+
+class TestBackdoor:
+    def test_peek_poke_bypass_timing_and_snoop(self, platform, captured):
+        before = platform.clock.now
+        platform.bus.poke(BASE, 99)
+        assert platform.bus.peek(BASE) == 99
+        assert platform.clock.now == before
+        assert captured == []
+
+
+class TestTransactionProperties:
+    def test_read_is_not_write_like(self):
+        txn = BusTransaction(TxnKind.READ, 0)
+        assert not txn.is_write_like
+
+    def test_frozen(self):
+        txn = BusTransaction(TxnKind.WRITE, 0, 1)
+        with pytest.raises(AttributeError):
+            txn.paddr = 5

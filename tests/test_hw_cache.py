@@ -1,0 +1,145 @@
+"""Unit tests for the cache models and the hierarchy's bus behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.bus import TxnKind
+from repro.hw.cache import Cache
+from tests.helpers import small_platform
+
+BASE = 0x8000_0000
+
+
+class TestCacheBasics:
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cache("bad", 1000, 3)
+
+    def test_miss_then_hit(self):
+        cache = Cache("c", 4096, 2)
+        assert not cache.lookup(0x1000)
+        cache.insert(0x1000)
+        assert cache.lookup(0x1000)
+
+    def test_lru_eviction_order(self):
+        cache = Cache("c", 2 * 64, 2)  # one set, two ways
+        cache.insert(0x0)
+        cache.insert(0x40 * cache.num_sets)  # same set
+        cache.lookup(0x0)  # refresh line 0 -> line at 0x40*sets is LRU
+        evicted = cache.insert(0x80 * cache.num_sets)
+        assert evicted is not None
+        assert evicted[0] == 0x40 * cache.num_sets
+
+    def test_dirty_bit_survives_reinsert(self):
+        cache = Cache("c", 4096, 2)
+        cache.insert(0x1000, dirty=True)
+        cache.insert(0x1000, dirty=False)
+        dirty = cache.remove(0x1000)
+        assert dirty is True
+
+    def test_mark_dirty_absent_line_noop(self):
+        cache = Cache("c", 4096, 2)
+        cache.mark_dirty(0x2000)
+        assert cache.remove(0x2000) is None
+
+    def test_eviction_reports_dirtiness(self):
+        cache = Cache("c", 64, 1)  # single line
+        cache.insert(0x0, dirty=True)
+        evicted = cache.insert(0x40 * cache.num_sets)
+        # num_sets == 1, so any other line address conflicts
+        assert evicted == (0x0, True)
+
+    def test_invalidate_all(self):
+        cache = Cache("c", 4096, 2)
+        cache.insert(0x1000)
+        cache.invalidate_all()
+        assert not cache.lookup(0x1000, touch=False)
+
+
+class TestHierarchy:
+    @pytest.fixture
+    def platform(self):
+        return small_platform()
+
+    def test_read_returns_written_value_cached(self, platform):
+        platform.caches.write(BASE, 42, cacheable=True)
+        assert platform.caches.read(BASE, cacheable=True) == 42
+
+    def test_read_returns_written_value_uncached(self, platform):
+        platform.caches.write(BASE, 43, cacheable=False)
+        assert platform.caches.read(BASE, cacheable=False) == 43
+
+    def test_cacheable_and_uncacheable_views_agree(self, platform):
+        platform.caches.write(BASE, 7, cacheable=True)
+        assert platform.caches.read(BASE, cacheable=False) == 7
+
+    def test_hit_is_cheaper_than_miss(self, platform):
+        start = platform.clock.now
+        platform.caches.read(BASE, cacheable=True)
+        miss_cost = platform.clock.now - start
+        start = platform.clock.now
+        platform.caches.read(BASE, cacheable=True)
+        hit_cost = platform.clock.now - start
+        assert hit_cost < miss_cost
+
+    def test_cacheable_write_emits_no_word_transaction(self, platform):
+        log = []
+        platform.bus.attach_snooper(log.append)
+        platform.caches.write(BASE, 1, cacheable=True)
+        kinds = {txn.kind for txn in log}
+        assert TxnKind.WRITE not in kinds  # only a LINE_FILL appears
+
+    def test_uncacheable_write_reaches_the_bus(self, platform):
+        log = []
+        platform.bus.attach_snooper(log.append)
+        platform.caches.write(BASE, 5, cacheable=False)
+        assert log[-1].kind is TxnKind.WRITE
+        assert log[-1].value == 5
+
+    def test_dirty_line_writes_back_on_pressure(self, platform):
+        platform.caches.write(BASE, 1, cacheable=True)
+        log = []
+        platform.bus.attach_snooper(log.append)
+        # Touch lines that conflict with BASE in both cache levels (the
+        # L2 set stride is a multiple of the L1 set stride) until the
+        # dirty line is forced all the way out to DRAM.
+        l2 = platform.l2
+        stride = l2.num_sets * l2.line_bytes
+        for i in range(1, 4 * l2.ways):
+            platform.caches.read(BASE + i * stride, cacheable=True)
+        assert any(t.kind is TxnKind.WRITEBACK and t.paddr == BASE for t in log)
+
+    def test_clean_invalidate_page_writes_back_dirty_lines(self, platform):
+        platform.caches.write(BASE + 0x40, 9, cacheable=True)
+        written_back = platform.caches.clean_invalidate_page(BASE)
+        assert written_back == 1
+        # Line is gone: next read misses (fills again).
+        fills_before = platform.bus.stats.get("line_fills")
+        platform.caches.read(BASE + 0x40, cacheable=True)
+        assert platform.bus.stats.get("line_fills") == fills_before + 1
+
+    def test_touch_block_dirties_lines(self, platform):
+        platform.caches.touch_block(BASE, 16, is_write=True)
+        written_back = platform.caches.clean_invalidate_page(BASE)
+        assert written_back == 2  # 16 words = 128 bytes = 2 lines
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2047), st.integers(0, (1 << 64) - 1)),
+            max_size=40,
+        )
+    )
+    def test_hierarchy_is_transparent(self, operations):
+        """Whatever the cache state, reads always see the latest write."""
+        platform = small_platform()
+        reference = {}
+        for word_index, value in operations:
+            paddr = BASE + word_index * 8
+            cacheable = word_index % 3 != 0
+            platform.caches.write(paddr, value, cacheable)
+            reference[paddr] = value
+        for paddr, value in reference.items():
+            assert platform.caches.read(paddr, cacheable=True) == value

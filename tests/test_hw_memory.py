@@ -1,0 +1,101 @@
+"""Unit tests for the sparse physical memory model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlignmentError, MemoryRangeError
+from repro.hw.memory import PhysicalMemory
+
+BASE = 0x8000_0000
+SIZE = 1 * 1024 * 1024
+
+
+@pytest.fixture
+def memory():
+    mem = PhysicalMemory()
+    mem.add_range(BASE, SIZE)
+    return mem
+
+
+class TestRanges:
+    def test_unbacked_read_rejected(self, memory):
+        with pytest.raises(MemoryRangeError):
+            memory.read_word(0x1000)
+
+    def test_overlapping_range_rejected(self, memory):
+        with pytest.raises(MemoryRangeError):
+            memory.add_range(BASE + SIZE - 8, 64)
+
+    def test_adjacent_range_allowed(self, memory):
+        memory.add_range(BASE + SIZE, 4096)
+        assert memory.contains(BASE + SIZE)
+
+    def test_contains_boundaries(self, memory):
+        assert memory.contains(BASE)
+        assert memory.contains(BASE + SIZE - 8)
+        assert not memory.contains(BASE + SIZE)
+        assert not memory.contains(BASE - 8)
+
+    def test_misaligned_base_rejected(self):
+        mem = PhysicalMemory()
+        with pytest.raises(AlignmentError):
+            mem.add_range(0x1001, 4096)
+
+
+class TestWordAccess:
+    def test_unwritten_word_reads_zero(self, memory):
+        assert memory.read_word(BASE + 0x100) == 0
+
+    def test_write_read_roundtrip(self, memory):
+        memory.write_word(BASE, 0xDEADBEEF)
+        assert memory.read_word(BASE) == 0xDEADBEEF
+
+    def test_value_truncated_to_64_bits(self, memory):
+        memory.write_word(BASE, (1 << 70) | 5)
+        assert memory.read_word(BASE) == 5
+
+    def test_misaligned_access_rejected(self, memory):
+        with pytest.raises(AlignmentError):
+            memory.read_word(BASE + 4)
+        with pytest.raises(AlignmentError):
+            memory.write_word(BASE + 1, 0)
+
+    def test_zero_write_keeps_store_sparse(self, memory):
+        memory.write_word(BASE, 7)
+        memory.write_word(BASE, 0)
+        assert memory.population() == 0
+        assert memory.read_word(BASE) == 0
+
+
+class TestBulkHelpers:
+    def test_fill_and_read_words(self, memory):
+        memory.fill(BASE, 4, 0xAB)
+        assert memory.read_words(BASE, 4) == [0xAB] * 4
+
+    def test_copy_words(self, memory):
+        for i in range(4):
+            memory.write_word(BASE + i * 8, i + 1)
+        memory.copy_words(BASE, BASE + 0x100, 4)
+        assert memory.read_words(BASE + 0x100, 4) == [1, 2, 3, 4]
+
+
+class TestPropertyBased:
+    @settings(max_examples=50)
+    @given(
+        st.dictionaries(
+            st.integers(0, SIZE // 8 - 1),
+            st.integers(0, (1 << 64) - 1),
+            max_size=64,
+        )
+    )
+    def test_memory_behaves_like_a_dict(self, writes):
+        """The store must agree with a reference model after any write set."""
+        mem = PhysicalMemory()
+        mem.add_range(BASE, SIZE)
+        reference = {}
+        for word_index, value in writes.items():
+            mem.write_word(BASE + word_index * 8, value)
+            reference[word_index] = value
+        for word_index, value in reference.items():
+            assert mem.read_word(BASE + word_index * 8) == value

@@ -1,0 +1,195 @@
+"""Integration tests: the attack/protection matrix (DESIGN.md section 4).
+
+Each scenario runs against Native (undefended), Hypernel (Hypersec +
+MBM + monitors) and — for ATRA — a stand-alone external monitor, and
+asserts the outcomes the paper claims.
+"""
+
+import pytest
+
+from repro.config import PAGE_BYTES
+from repro.core.hypernel import build_hypernel, build_native
+from repro.core.mbm.mbm import MemoryBusMonitor
+from repro.kernel.kernel import KernelConfig
+from repro.kernel.objects import CRED
+from repro.arch.pagetable import DESC_NC
+from repro.security import (
+    CredIntegrityMonitor,
+    DentryIntegrityMonitor,
+    ExternalOnlyMonitor,
+)
+from repro.attacks import (
+    AtraAttack,
+    CredEscalationAttack,
+    DentryHijackAttack,
+    DmaAttack,
+    HypercallAbuseAttack,
+    MmuDisableAttack,
+    PageTableTamperAttack,
+    TtbrSwitchAttack,
+)
+from repro.hw.dma import Iommu
+from repro.utils.bitops import align_down
+from tests.conftest import small_platform_config
+
+
+def make_victim(system):
+    """A non-root victim process (so escalation is observable)."""
+    kernel = system.kernel
+    init = system.spawn_init()
+    victim = kernel.sys.fork(init)
+    kernel.procs.context_switch(victim)
+    kernel.sys.setuid(victim, 1000)
+    kernel.vfs.mkdir_p("/etc")
+    kernel.sys.creat(victim, "/etc/passwd")
+    return victim
+
+
+@pytest.fixture
+def native():
+    return build_native(
+        platform_config=small_platform_config(),
+        kernel_config=KernelConfig(linear_map_mode="page"),
+    )
+
+
+@pytest.fixture
+def hypernel():
+    return build_hypernel(
+        platform_config=small_platform_config(),
+        monitors=[CredIntegrityMonitor(), DentryIntegrityMonitor()],
+    )
+
+
+class TestNativeIsDefenceless:
+    def test_cred_escalation_succeeds_silently(self, native):
+        victim = make_victim(native)
+        outcome = CredEscalationAttack().mount(native, victim)
+        assert outcome.succeeded and not outcome.detected
+
+    def test_dentry_hijack_succeeds_silently(self, native):
+        make_victim(native)
+        outcome = DentryHijackAttack().mount(native, "/etc/passwd")
+        assert outcome.succeeded and not outcome.detected
+
+    def test_pgtable_tamper_succeeds(self, native):
+        make_victim(native)
+        outcome = PageTableTamperAttack().mount(native)
+        assert outcome.succeeded and not outcome.blocked
+
+    def test_ttbr_switch_succeeds(self, native):
+        make_victim(native)
+        outcome = TtbrSwitchAttack().mount(native)
+        assert outcome.succeeded
+
+    def test_mmu_disable_succeeds(self, native):
+        make_victim(native)
+        outcome = MmuDisableAttack().mount(native)
+        assert outcome.succeeded
+
+
+class TestHypernelProtects:
+    def test_cred_escalation_detected(self, hypernel):
+        victim = make_victim(hypernel)
+        outcome = CredEscalationAttack().mount(hypernel, victim)
+        assert outcome.succeeded  # monitoring detects, does not prevent
+        assert outcome.detected
+        app = hypernel.monitor_by_name("cred_monitor")
+        assert any("escalation" in alert.reason for alert in app.alerts)
+
+    def test_dentry_hijack_detected(self, hypernel):
+        make_victim(hypernel)
+        outcome = DentryHijackAttack().mount(hypernel, "/etc/passwd")
+        assert outcome.detected
+
+    def test_pgtable_tamper_blocked(self, hypernel):
+        make_victim(hypernel)
+        outcome = PageTableTamperAttack().mount(hypernel)
+        assert outcome.blocked and not outcome.succeeded
+
+    def test_ttbr_switch_blocked(self, hypernel):
+        make_victim(hypernel)
+        outcome = TtbrSwitchAttack().mount(hypernel)
+        assert outcome.blocked and not outcome.succeeded
+
+    def test_mmu_disable_blocked(self, hypernel):
+        make_victim(hypernel)
+        outcome = MmuDisableAttack().mount(hypernel)
+        assert outcome.blocked and not outcome.succeeded
+
+    def test_hypercall_abuse_blocked(self, hypernel):
+        make_victim(hypernel)
+        outcome = HypercallAbuseAttack().mount(hypernel)
+        assert outcome.blocked and not outcome.succeeded
+
+    def test_atra_blocked(self, hypernel):
+        victim = make_victim(hypernel)
+        outcome = AtraAttack().mount(hypernel, victim)
+        assert outcome.blocked and not outcome.succeeded
+        assert hypernel.hypersec.stats.get("alert.atra_remap") >= 1
+
+
+class TestExternalMonitorAtraBypass:
+    """Paper sections 2/5.3: ATRA defeats bus monitors without Hypersec."""
+
+    def _external_setup(self):
+        system = build_native(
+            platform_config=small_platform_config(),
+            kernel_config=KernelConfig(linear_map_mode="page"),
+        )
+        mbm = MemoryBusMonitor(system.platform, raise_interrupts=False)
+        mbm.attach()
+        system.mbm = mbm
+        victim = make_victim(system)
+        monitor = ExternalOnlyMonitor(mbm)
+        for base, size in CRED.sensitive_ranges(victim.cred_pa):
+            monitor.watch_range(base, size)
+        # Boot-time integration made the watched page uncacheable.
+        page = align_down(victim.cred_pa, PAGE_BYTES)
+        desc_addr, _ = system.kernel.linear_map.leaf_desc_addr(page)
+        system.platform.bus.poke(
+            desc_addr, system.platform.bus.peek(desc_addr) | DESC_NC
+        )
+        system.cpu.tlbi_all()
+        return system, victim, monitor
+
+    def test_external_monitor_catches_direct_writes(self):
+        system, victim, monitor = self._external_setup()
+        CredEscalationAttack().mount(system, victim)
+        monitor.poll()
+        assert len(monitor.alerts) >= 1
+
+    def test_atra_bypasses_external_monitor(self):
+        system, victim, monitor = self._external_setup()
+        outcome = AtraAttack().mount(system, victim)
+        monitor.poll()
+        assert outcome.succeeded            # kernel sees uid 0 ...
+        assert len(monitor.alerts) == 0     # ... and the monitor saw nothing
+        # The monitor still believes the victim is uid 1000.
+        uid_pa = victim.cred_pa + CRED.field("uid").byte_offset
+        assert monitor.shadow_value(uid_pa) == 1000
+
+
+class TestDmaAttack:
+    def test_dma_write_lands_but_is_flagged(self, hypernel):
+        make_victim(hypernel)
+        outcome = DmaAttack().mount(hypernel)
+        assert outcome.succeeded
+        assert outcome.detected
+
+    def test_iommu_blocks_dma(self, hypernel):
+        make_victim(hypernel)
+        iommu = Iommu()  # no windows granted
+        outcome = DmaAttack().mount(hypernel, iommu)
+        assert outcome.blocked and not outcome.succeeded
+
+    def test_iommu_allows_granted_windows(self, hypernel):
+        kernel = hypernel.kernel
+        make_victim(hypernel)
+        iommu = Iommu()
+        buffer_page = kernel.allocator.alloc("dma_buf")
+        iommu.grant(buffer_page, PAGE_BYTES)
+        from repro.hw.dma import DmaEngine
+        engine = DmaEngine(hypernel.platform.bus, iommu)
+        engine.write_word(buffer_page + 8, 0x1234)
+        assert hypernel.platform.bus.peek(buffer_page + 8) == 0x1234

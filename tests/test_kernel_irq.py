@@ -1,0 +1,64 @@
+"""Tests for the kernel's MBM interrupt-forwarding stub (paper 6.2)."""
+
+import pytest
+
+from repro.core.hypercalls import HVC_MBM_SERVICE
+from repro.hw.platform import MBM_IRQ
+from repro.kernel.objects import CRED
+
+
+class TestMbmIrqStub:
+    def test_irq_forwards_into_hypersec(self, monitored_system):
+        """MBM detection -> GIC -> kernel stub -> HVC -> event dispatch,
+        all within the very write that caused it."""
+        system = monitored_system
+        init = system.spawn_init()
+        kernel = system.kernel
+        hvc_count = system.hypersec.stats.get("hvc.mbm_service")
+        # One raw write to a monitored word.
+        kernel.cpu.write(
+            kernel.linear_map.kva(
+                init.cred_pa + CRED.field("euid").byte_offset
+            ),
+            7,
+        )
+        assert system.hypersec.stats.get("hvc.mbm_service") == hvc_count + 1
+        assert system.mbm.ring.pending() == 0  # drained synchronously
+
+    def test_irq_charges_interrupt_costs(self, monitored_system):
+        system = monitored_system
+        init = system.spawn_init()
+        kernel = system.kernel
+        costs = kernel.costs
+        before = system.now
+        kernel.cpu.write(
+            kernel.linear_map.kva(
+                init.cred_pa + CRED.field("euid").byte_offset
+            ),
+            9,
+        )
+        elapsed = system.now - before
+        floor = (costs.irq_entry + costs.irq_exit
+                 + costs.hvc_entry + costs.hvc_exit)
+        assert elapsed >= floor
+
+    def test_spurious_irq_is_harmless(self, monitored_system):
+        """An IRQ with an empty ring drains nothing and alerts nothing."""
+        system = monitored_system
+        system.spawn_init()
+        dispatched = system.hypersec.stats.get("mbm_events_dispatched")
+        system.platform.gic.raise_irq(MBM_IRQ)
+        assert system.hypersec.stats.get("mbm_events_dispatched") == dispatched
+
+    def test_double_install_is_rejected_by_gic(self, monitored_system):
+        from repro.errors import ConfigurationError
+        from repro.kernel.irq import MbmIrqStub
+
+        with pytest.raises(ConfigurationError):
+            MbmIrqStub(monitored_system.kernel).install()
+
+    def test_mbm_service_hypercall_without_mbm_denied(self, hypernel_system):
+        from repro.core.hypercalls import HVC_DENIED
+
+        hypernel_system.spawn_init()
+        assert hypernel_system.cpu.hvc(HVC_MBM_SERVICE) == HVC_DENIED

@@ -1,0 +1,129 @@
+"""Unit tests for process management: fork/exec/exit/context switch."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel.objects import CRED, TASK_STRUCT
+
+
+@pytest.fixture
+def system(native_system):
+    native_system.spawn_init()
+    return native_system
+
+
+@pytest.fixture
+def kernel(system):
+    return system.kernel
+
+
+@pytest.fixture
+def init(kernel):
+    return kernel.procs.current
+
+
+class TestSpawnInit:
+    def test_init_is_pid_1_and_current(self, kernel, init):
+        assert init.pid == 1
+        assert kernel.procs.current is init
+
+    def test_init_is_root(self, kernel, init):
+        assert kernel.read_field(init.cred_pa, CRED, "uid") == 0
+        assert kernel.read_field(init.cred_pa, CRED, "euid") == 0
+
+    def test_image_pages_are_mapped(self, kernel, init):
+        mapped = len(init.mm.pages)
+        expected = (kernel.procs.TEXT_PAGES + kernel.procs.DATA_PAGES
+                    + kernel.procs.STACK_PAGES)
+        assert mapped == expected
+
+    def test_cpu_runs_init_address_space(self, kernel, init):
+        assert kernel.cpu.mrs("TTBR0_EL1") == init.mm.pgd
+        assert kernel.cpu.mmu.asid == init.mm.asid
+
+
+class TestFork:
+    def test_child_gets_new_pid_and_parent_link(self, kernel, init):
+        child = kernel.procs.fork(init)
+        assert child.pid != init.pid
+        assert child.parent is init
+        assert kernel.read_field(child.task_pa, TASK_STRUCT, "pid") == child.pid
+
+    def test_child_cred_is_a_copy(self, kernel, init):
+        kernel.sys.setuid(init, 1000)
+        child = kernel.procs.fork(init)
+        assert child.cred_pa != init.cred_pa
+        assert kernel.read_field(child.cred_pa, CRED, "uid") == 1000
+        # Independent: changing the child does not touch the parent.
+        kernel.write_field(child.cred_pa, CRED, "uid", 7)
+        assert kernel.read_field(init.cred_pa, CRED, "uid") == 1000
+
+    def test_child_inherits_sigactions(self, kernel, init):
+        kernel.signals.sigaction(init, 10, 0x5000)
+        child = kernel.procs.fork(init)
+        assert child.sigactions[10] == 0x5000
+
+    def test_fork_without_current_rejected(self, kernel):
+        kernel.procs.current = None
+        with pytest.raises(SimulationError):
+            kernel.procs.fork()
+
+
+class TestExecExit:
+    def test_exec_replaces_address_space(self, kernel, init):
+        child = kernel.procs.fork(init)
+        kernel.procs.context_switch(child)
+        old_mm = child.mm
+        kernel.procs.execv(child)
+        assert child.mm is not old_mm
+        assert kernel.cpu.mrs("TTBR0_EL1") == child.mm.pgd
+        kernel.procs.exit(child)
+        kernel.procs.context_switch(init)
+
+    def test_exec_clears_sigactions(self, kernel, init):
+        kernel.signals.sigaction(init, 10, 0x5000)
+        child = kernel.procs.fork(init)
+        kernel.procs.context_switch(child)
+        kernel.procs.execv(child)
+        assert child.sigactions == {}
+        kernel.procs.exit(child)
+        kernel.procs.context_switch(init)
+
+    def test_exec_on_non_current_rejected(self, kernel, init):
+        child = kernel.procs.fork(init)
+        with pytest.raises(SimulationError):
+            kernel.procs.execv(child)
+        kernel.procs.context_switch(child)
+        kernel.procs.exit(child)
+        kernel.procs.context_switch(init)
+
+    def test_exit_frees_task_and_cred(self, kernel, init):
+        cred_cache = kernel.slab.cache(CRED)
+        live_before = cred_cache.live_objects
+        child = kernel.procs.fork(init)
+        assert cred_cache.live_objects == live_before + 1
+        kernel.procs.context_switch(child)
+        kernel.procs.exit(child)
+        kernel.procs.context_switch(init)
+        assert cred_cache.live_objects == live_before
+        assert child.pid not in kernel.procs.tasks
+        assert not child.alive
+
+
+class TestContextSwitch:
+    def test_switch_changes_ttbr_and_asid(self, kernel, init):
+        child = kernel.procs.fork(init)
+        kernel.procs.context_switch(child)
+        assert kernel.cpu.mrs("TTBR0_EL1") == child.mm.pgd
+        assert kernel.cpu.mmu.asid == child.mm.asid
+        kernel.procs.context_switch(init)
+        assert kernel.cpu.mmu.asid == init.mm.asid
+        kernel.procs.exit(child) if False else None
+
+    def test_switch_to_dead_task_rejected(self, kernel, init):
+        child = kernel.procs.fork(init)
+        kernel.procs.context_switch(child)
+        kernel.procs.exit(child)
+        with pytest.raises(SimulationError):
+            kernel.procs.context_switch(child)
+        kernel.procs.context_switch(init)

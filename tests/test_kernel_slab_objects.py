@@ -1,0 +1,160 @@
+"""Unit tests for object layouts and the slab allocator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import PAGE_BYTES
+from repro.errors import AllocationError
+from repro.kernel.objects import (
+    ALL_LAYOUTS,
+    CRED,
+    DENTRY,
+    Field,
+    INODE,
+    ObjectLayout,
+    TASK_STRUCT,
+)
+
+
+class TestObjectLayouts:
+    def test_all_layouts_fit_in_a_page(self):
+        for layout in ALL_LAYOUTS.values():
+            assert layout.size_bytes <= PAGE_BYTES
+
+    def test_cred_sensitive_set_matches_paper_targets(self):
+        names = {f.name for f in CRED.sensitive_fields()}
+        assert {"uid", "euid", "cap_effective"} <= names
+        assert "usage" not in names  # the hot refcount stays unmonitored
+
+    def test_dentry_sensitive_set(self):
+        names = {f.name for f in DENTRY.sensitive_fields()}
+        assert {"d_parent", "d_name", "d_inode"} <= names
+        assert "d_lockref" not in names
+
+    def test_field_lookup(self):
+        field = CRED.field("euid")
+        assert field.byte_offset == field.offset * 8
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            CRED.field("nonexistent")
+
+    def test_overlapping_fields_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectLayout("bad", [Field("a", 0, size=2), Field("b", 1)])
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectLayout("bad", [Field("a", 0), Field("a", 1)])
+
+    def test_sensitive_ranges_are_coalesced(self):
+        # cred's uid..cap_bset are contiguous: one range expected.
+        ranges = CRED.sensitive_ranges(0x1000)
+        assert len(ranges) == 1
+        base, size = ranges[0]
+        assert base == 0x1000 + CRED.field("uid").byte_offset
+        assert size == (CRED.field("cap_bset").offset
+                        - CRED.field("uid").offset + 1) * 8
+
+    def test_dentry_sensitive_ranges_split_around_hot_fields(self):
+        ranges = DENTRY.sensitive_ranges(0)
+        assert len(ranges) > 1  # d_iname separates d_inode from d_op
+
+    def test_whole_range_covers_object(self):
+        base, size = TASK_STRUCT.whole_range(0x2000)
+        assert base == 0x2000
+        assert size == TASK_STRUCT.size_bytes
+
+    @given(st.integers(0, 1 << 40))
+    def test_sensitive_ranges_inside_object(self, base):
+        base *= 8
+        for layout in (CRED, DENTRY, INODE):
+            for start, size in layout.sensitive_ranges(base):
+                assert base <= start
+                assert start + size <= base + layout.size_bytes
+
+
+class TestSlabCache:
+    @pytest.fixture
+    def kernel(self, native_system):
+        return native_system.kernel
+
+    def test_alloc_returns_distinct_objects(self, kernel):
+        cache = kernel.slab.cache(CRED)
+        objects = {cache.alloc() for _ in range(10)}
+        assert len(objects) == 10
+
+    def test_objects_do_not_overlap(self, kernel):
+        cache = kernel.slab.cache(DENTRY)
+        objects = sorted(cache.alloc() for _ in range(40))
+        for first, second in zip(objects, objects[1:]):
+            assert second - first >= DENTRY.size_bytes
+
+    def test_objects_stay_inside_slab_pages(self, kernel):
+        cache = kernel.slab.cache(CRED)
+        for _ in range(cache.objects_per_page + 1):
+            obj = cache.alloc()
+            page = obj & ~(PAGE_BYTES - 1)
+            assert page in cache.pages
+            assert obj + CRED.size_bytes <= page + PAGE_BYTES
+
+    def test_free_and_reuse(self, kernel):
+        cache = kernel.slab.cache(CRED)
+        obj = cache.alloc()
+        cache.free(obj)
+        assert cache.alloc() == obj
+
+    def test_double_free_rejected(self, kernel):
+        cache = kernel.slab.cache(CRED)
+        obj = cache.alloc()
+        cache.free(obj)
+        with pytest.raises(AllocationError):
+            cache.free(obj)
+
+    def test_grows_by_whole_pages(self, kernel):
+        cache = kernel.slab.cache(CRED)
+        for _ in range(cache.objects_per_page):
+            cache.alloc()
+        assert cache.stats.get("pages") == 1
+        cache.alloc()
+        assert cache.stats.get("pages") == 2
+
+    def test_alloc_hook_fires_before_init(self, kernel):
+        seen = []
+        kernel.object_alloc.subscribe(lambda layout, pa: seen.append((layout.name, pa)))
+        obj = kernel.slab.cache(CRED).alloc()
+        assert seen == [("cred", obj)]
+
+    def test_free_hook_fires(self, kernel):
+        seen = []
+        kernel.object_free.subscribe(lambda layout, pa: seen.append(pa))
+        cache = kernel.slab.cache(CRED)
+        obj = cache.alloc()
+        cache.free(obj)
+        assert seen == [obj]
+
+    def test_live_object_count(self, kernel):
+        cache = kernel.slab.cache(INODE)
+        start = cache.live_objects
+        objs = [cache.alloc() for _ in range(5)]
+        assert cache.live_objects == start + 5
+        for obj in objs:
+            cache.free(obj)
+        assert cache.live_objects == start
+
+    def test_registry_reuses_caches(self, kernel):
+        assert kernel.slab.cache(CRED) is kernel.slab.cache(CRED)
+
+    def test_field_read_write_through_kernel(self, kernel):
+        obj = kernel.slab.cache(CRED).alloc()
+        kernel.write_field(obj, CRED, "euid", 1234)
+        assert kernel.read_field(obj, CRED, "euid") == 1234
+
+    def test_multiword_field_indexing(self, kernel):
+        obj = kernel.slab.cache(DENTRY).alloc()
+        kernel.write_field(obj, DENTRY, "d_iname", 7, index=2)
+        assert kernel.read_field(obj, DENTRY, "d_iname", index=2) == 7
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            kernel.write_field(obj, DENTRY, "d_iname", 0, index=4)

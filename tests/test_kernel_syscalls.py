@@ -1,0 +1,125 @@
+"""Unit tests for the syscall layer."""
+
+import pytest
+
+from repro.kernel.objects import CRED, INODE
+
+
+@pytest.fixture
+def system(native_system):
+    native_system.spawn_init()
+    return native_system
+
+
+@pytest.fixture
+def kernel(system):
+    return system.kernel
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.procs.current
+
+
+class TestFilesystemCalls:
+    def test_stat_returns_attributes(self, kernel, task):
+        kernel.vfs.mkdir_p("/tmp")
+        kernel.sys.creat(task, "/tmp/file")
+        attrs = kernel.sys.stat(task, "/tmp/file")
+        assert attrs is not None
+        assert attrs["i_nlink"] == 1
+
+    def test_stat_missing_returns_none(self, kernel, task):
+        assert kernel.sys.stat(task, "/absent") is None
+
+    def test_creat_stamps_caller_fsuid(self, kernel, task):
+        kernel.sys.setuid(task, 1000)
+        kernel.vfs.mkdir_p("/home")
+        kernel.sys.creat(task, "/home/mine")
+        node = kernel.vfs.lookup("/home/mine")
+        assert kernel.read_field(node.inode_pa, INODE, "i_uid") == 1000
+
+    def test_open_write_read_close(self, kernel, task):
+        handle = kernel.sys.open(task, "/data", create=True)
+        kernel.sys.write(task, handle, 4096)
+        handle.pos = 0
+        assert kernel.sys.read(task, handle, 4096) == 4096
+        kernel.sys.close(task, handle)
+
+    def test_fd_based_attr_calls_touch_inode_only(self, kernel, task):
+        handle = kernel.sys.open(task, "/fdattr", create=True)
+        lookups_before = kernel.vfs.stats.get("dcache_lookups")
+        kernel.sys.fchmod(task, handle, 0o640)
+        kernel.sys.fchown(task, handle, 5, 6)
+        kernel.sys.futimes(task, handle)
+        assert kernel.vfs.stats.get("dcache_lookups") == lookups_before
+        assert kernel.read_field(handle.node.inode_pa, INODE, "i_mode") == 0o640
+        assert kernel.read_field(handle.node.inode_pa, INODE, "i_uid") == 5
+        kernel.sys.close(task, handle)
+
+    def test_every_syscall_charges_entry_exit(self, kernel, task):
+        before = kernel.platform.clock.now
+        kernel.sys.stat(task, "/absent")
+        delta = kernel.platform.clock.now - before
+        assert delta >= kernel.costs.svc_entry + kernel.costs.svc_exit
+
+    def test_syscall_counters(self, kernel, task):
+        kernel.sys.stat(task, "/absent")
+        kernel.sys.stat(task, "/absent")
+        assert kernel.sys.stats.get("stat") == 2
+        assert kernel.sys.stats.get("total") >= 2
+
+
+class TestCredentialCalls:
+    def test_setuid_updates_all_uid_words(self, kernel, task):
+        kernel.sys.setuid(task, 501)
+        for name in ("uid", "euid", "suid", "fsuid"):
+            assert kernel.read_field(task.cred_pa, CRED, name) == 501
+
+    def test_setuid_announces_authorized_updates(self, kernel, task):
+        seen = []
+        kernel.authorized_update.subscribe(lambda pa, v: seen.append((pa, v)))
+        kernel.sys.setuid(task, 77)
+        uid_pa = task.cred_pa + CRED.field("uid").byte_offset
+        assert (uid_pa, 77) in seen
+
+
+class TestMemoryCalls:
+    def test_mmap_places_vmas_without_overlap(self, kernel, task):
+        first = kernel.sys.mmap(task, 8 * 4096)
+        second = kernel.sys.mmap(task, 8 * 4096)
+        assert first.end <= second.start or second.end <= first.start
+        kernel.sys.munmap(task, first)
+        kernel.sys.munmap(task, second)
+
+    def test_munmap_removes_vma(self, kernel, task):
+        vma = kernel.sys.mmap(task, 4096)
+        kernel.sys.munmap(task, vma)
+        assert vma not in task.mm.vmas
+
+
+class TestGranularityGap:
+    def test_page_mode_kernel_never_gap_faults(self, hypernel_system):
+        system = hypernel_system
+        init = system.spawn_init()
+        system.kernel.vfs.mkdir_p("/tmp")
+        system.kernel.sys.creat(init, "/tmp/x")
+        assert system.kernel.stats.get("granularity_gap_faults") == 0
+
+    def test_section_mode_kernel_gap_faults_and_emulates(self, platform_config):
+        """Ablation B's mechanism: with a 2 MB-section linear map under
+        Hypernel, data sharing a section with page tables write-faults
+        and is emulated by Hypersec."""
+        from repro.core.hypernel import build_hypernel
+        from repro.kernel.kernel import KernelConfig
+
+        system = build_hypernel(
+            platform_config=platform_config,
+            kernel_config=KernelConfig(linear_map_mode="section"),
+            with_mbm=False,
+        )
+        init = system.spawn_init()
+        system.kernel.vfs.mkdir_p("/tmp")
+        system.kernel.sys.creat(init, "/tmp/x")
+        assert system.kernel.stats.get("granularity_gap_faults") > 0
+        assert system.hypersec.stats.get("gap_emulated_writes") > 0

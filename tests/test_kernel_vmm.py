@@ -1,0 +1,150 @@
+"""Unit tests for user VMM: demand paging, COW, fork, teardown."""
+
+import pytest
+
+from repro.config import PAGE_BYTES
+from repro.errors import AllocationError, SecurityViolation, SimulationError
+
+
+@pytest.fixture
+def system(native_system):
+    native_system.spawn_init()
+    return native_system
+
+
+@pytest.fixture
+def kernel(system):
+    return system.kernel
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.procs.current
+
+
+class TestDemandPaging:
+    def test_first_touch_faults_and_maps(self, kernel, task):
+        vma = kernel.sys.mmap(task, 4 * PAGE_BYTES)
+        faults_before = kernel.vmm.stats.get("faults")
+        kernel.vmm.user_touch(task.mm, vma.start, is_write=True, value=5)
+        assert kernel.vmm.stats.get("faults") == faults_before + 1
+        assert vma.start in task.mm.pages
+
+    def test_second_touch_does_not_fault(self, kernel, task):
+        vma = kernel.sys.mmap(task, PAGE_BYTES)
+        kernel.vmm.user_touch(task.mm, vma.start, is_write=True, value=5)
+        faults = kernel.vmm.stats.get("faults")
+        kernel.vmm.user_touch(task.mm, vma.start)
+        assert kernel.vmm.stats.get("faults") == faults
+
+    def test_demand_page_reads_zero(self, kernel, task):
+        vma = kernel.sys.mmap(task, PAGE_BYTES)
+        assert kernel.vmm.user_touch(task.mm, vma.start + 8) == 0
+
+    def test_touch_outside_vma_segfaults(self, kernel, task):
+        with pytest.raises(SecurityViolation):
+            kernel.vmm.user_touch(task.mm, 0x3000_0000, is_write=True)
+
+    def test_write_to_readonly_vma_segfaults(self, kernel, task):
+        vma = kernel.vmm.add_vma(task.mm, 0x2800_0000, PAGE_BYTES,
+                                 writable=False, kind="file")
+        kernel.vmm.user_touch(task.mm, vma.start)  # read is fine
+        with pytest.raises(SecurityViolation):
+            kernel.vmm.user_touch(task.mm, vma.start, is_write=True)
+
+    def test_touch_wrong_address_space_rejected(self, kernel, task):
+        other = kernel.vmm.create_mm()
+        with pytest.raises(SimulationError):
+            kernel.vmm.user_touch(other, 0x40_0000)
+
+
+class TestVmaManagement:
+    def test_overlapping_vma_rejected(self, kernel, task):
+        kernel.vmm.add_vma(task.mm, 0x2800_0000, 4 * PAGE_BYTES, True, "anon")
+        with pytest.raises(AllocationError):
+            kernel.vmm.add_vma(task.mm, 0x2800_1000, PAGE_BYTES, True, "anon")
+
+    def test_munmap_releases_pages(self, kernel, task):
+        vma = kernel.sys.mmap(task, 4 * PAGE_BYTES)
+        for page in range(4):
+            kernel.vmm.user_touch(task.mm, vma.start + page * PAGE_BYTES,
+                                  is_write=True, value=1)
+        free_before = kernel.allocator.free_pages
+        kernel.sys.munmap(task, vma)
+        assert kernel.allocator.free_pages == free_before + 4
+        assert all(not vma.contains(v) for v in task.mm.pages)
+
+
+class TestCopyOnWrite:
+    def _forked_pair(self, kernel, task):
+        vma = kernel.sys.mmap(task, 2 * PAGE_BYTES)
+        kernel.vmm.user_touch(task.mm, vma.start, is_write=True, value=77)
+        child = kernel.procs.fork(task)
+        return vma, child
+
+    def test_fork_shares_frames_cow(self, kernel, task):
+        vma, child = self._forked_pair(kernel, task)
+        assert child.mm.pages[vma.start] == task.mm.pages[vma.start]
+        assert child.mm.cow[vma.start]
+        assert task.mm.cow[vma.start]
+
+    def test_parent_write_breaks_cow(self, kernel, task):
+        vma, child = self._forked_pair(kernel, task)
+        shared = task.mm.pages[vma.start]
+        breaks_before = kernel.vmm.stats.get("cow_breaks")
+        kernel.vmm.user_touch(task.mm, vma.start, is_write=True, value=88)
+        assert kernel.vmm.stats.get("cow_breaks") == breaks_before + 1
+        assert task.mm.pages[vma.start] != shared      # parent got a copy
+        assert child.mm.pages[vma.start] == shared     # child keeps original
+
+    def test_child_write_breaks_cow_in_child(self, kernel, task):
+        vma, child = self._forked_pair(kernel, task)
+        shared = child.mm.pages[vma.start]
+        kernel.procs.context_switch(child)
+        kernel.vmm.user_touch(child.mm, vma.start, is_write=True, value=99)
+        assert child.mm.pages[vma.start] != shared
+        kernel.procs.context_switch(task)
+
+    def test_sole_owner_rearms_in_place(self, kernel, task):
+        """After the child exits, the parent's COW break reuses the frame."""
+        vma, child = self._forked_pair(kernel, task)
+        shared = task.mm.pages[vma.start]
+        kernel.procs.context_switch(child)
+        kernel.procs.exit(child)
+        kernel.procs.context_switch(task)
+        kernel.vmm.user_touch(task.mm, vma.start, is_write=True, value=5)
+        assert task.mm.pages[vma.start] == shared  # no copy needed
+
+    def test_read_does_not_break_cow(self, kernel, task):
+        vma, child = self._forked_pair(kernel, task)
+        breaks = kernel.vmm.stats.get("cow_breaks")
+        kernel.vmm.user_touch(task.mm, vma.start)
+        assert kernel.vmm.stats.get("cow_breaks") == breaks
+        assert task.mm.cow[vma.start]
+
+
+class TestTeardown:
+    def test_destroy_mm_returns_all_memory(self, kernel, task):
+        allocated_before = kernel.allocator.allocated_pages
+        child = kernel.procs.fork(task)
+        kernel.procs.context_switch(child)
+        # Child privatizes one page so a real copy exists.
+        kernel.vmm.user_touch(
+            child.mm, kernel.vmm.DATA_BASE, is_write=True, value=3
+        )
+        kernel.procs.exit(child)
+        kernel.procs.context_switch(task)
+        assert kernel.allocator.allocated_pages == allocated_before
+
+    def test_fork_exit_cycles_are_stable(self, kernel, task):
+        """Repeated fork+exit neither leaks pages nor grows tables."""
+        def cycle():
+            child = kernel.procs.fork(task)
+            kernel.procs.context_switch(child)
+            kernel.procs.exit(child)
+            kernel.procs.context_switch(task)
+        cycle()
+        allocated = kernel.allocator.allocated_pages
+        for _ in range(5):
+            cycle()
+        assert kernel.allocator.allocated_pages == allocated

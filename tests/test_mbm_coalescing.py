@@ -1,0 +1,74 @@
+"""Tests for the MBM interrupt-coalescing extension."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.platform import MBM_IRQ, Platform
+from repro.core.mbm.mbm import MemoryBusMonitor
+from tests.conftest import small_platform_config
+
+TARGET = 0x8100_0000
+
+
+def make_mbm(coalesce):
+    platform = Platform(small_platform_config())
+    mbm = MemoryBusMonitor(platform, irq_coalesce=coalesce)
+    mbm.attach()
+    fired = []
+    platform.gic.register(MBM_IRQ, fired.append)
+    word_addr, bit = mbm.bitmap.locate(TARGET)
+    platform.bus.poke(word_addr, 1 << bit)
+    return platform, mbm, fired
+
+
+class TestCoalescing:
+    def test_default_is_one_irq_per_event(self):
+        platform, mbm, fired = make_mbm(coalesce=1)
+        for index in range(3):
+            platform.caches.write(TARGET, index, cacheable=False)
+        assert len(fired) == 3
+
+    def test_batched_delivery(self):
+        platform, mbm, fired = make_mbm(coalesce=4)
+        for index in range(8):
+            platform.caches.write(TARGET, index, cacheable=False)
+        assert len(fired) == 2
+        assert mbm.stats.get("irqs_coalesced") == 6
+
+    def test_no_event_is_lost(self):
+        platform, mbm, fired = make_mbm(coalesce=4)
+        for index in range(10):
+            platform.caches.write(TARGET, index, cacheable=False)
+        assert mbm.events_detected == 10
+        assert mbm.ring.pending() == 10  # all recorded, whatever the IRQs
+
+    def test_flush_delivers_stragglers(self):
+        platform, mbm, fired = make_mbm(coalesce=8)
+        for index in range(3):
+            platform.caches.write(TARGET, index, cacheable=False)
+        assert fired == []
+        mbm.flush_events()
+        assert len(fired) == 1
+        mbm.flush_events()  # idempotent when nothing is pending
+        assert len(fired) == 1
+
+    def test_invalid_batch_rejected(self):
+        platform = Platform(small_platform_config())
+        with pytest.raises(ConfigurationError):
+            MemoryBusMonitor(platform, irq_coalesce=0)
+
+    def test_monitored_system_accepts_knob(self):
+        from repro.core.hypernel import build_hypernel
+        from repro.security import CredIntegrityMonitor
+
+        system = build_hypernel(
+            platform_config=small_platform_config(),
+            monitors=[CredIntegrityMonitor()],
+            irq_coalesce=16,
+        )
+        init = system.spawn_init()
+        system.kernel.sys.setuid(init, 1000)
+        system.mbm.flush_events()
+        # Events reached the app even though interrupts were batched.
+        assert system.monitor_by_name("cred_monitor").event_count > 0
+        assert system.monitor_by_name("cred_monitor").alerts == []

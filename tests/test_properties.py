@@ -1,0 +1,165 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These check whole-subsystem invariants under randomized operation
+sequences — the properties the design leans on rather than individual
+behaviours:
+
+* translation agrees with a reference model of the mappings we built;
+* the MBM detects exactly the writes that hit registered words;
+* Hypersec's invariants survive arbitrary *legitimate* kernel activity;
+* allocator/slab/VFS bookkeeping never double-books memory.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import PAGE_BYTES
+from repro.core.hypernel import build_hypernel
+from repro.core.mbm.mbm import MemoryBusMonitor
+from repro.arch.cpu import CPUCore
+from repro.arch.pagetable import KERNEL_VA_BASE
+from repro.arch.registers import SCTLR_M
+from repro.security import CredIntegrityMonitor, DentryIntegrityMonitor
+from tests.conftest import small_platform_config
+from tests.helpers import TableBuilder, small_platform
+
+BASE = 0x8000_0000
+
+
+class TestTranslationAgainstReference:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(0, 500),          # virtual page index
+            st.integers(600, 1100),       # physical frame index
+            min_size=1,
+            max_size=40,
+        ),
+        st.lists(st.integers(0, 500), max_size=30),
+    )
+    def test_walker_matches_reference_model(self, mapping, probes):
+        """For random page mappings, the MMU translates exactly the
+        mapped pages and faults on everything else."""
+        platform = small_platform()
+        builder = TableBuilder(platform, BASE + 0x10_0000)
+        for vpage, pframe in mapping.items():
+            builder.map_page(
+                KERNEL_VA_BASE + vpage * PAGE_BYTES, BASE + pframe * PAGE_BYTES
+            )
+        cpu = CPUCore(platform)
+        cpu.regs.write("TTBR1_EL1", builder.root)
+        cpu.regs.set_bits("SCTLR_EL1", SCTLR_M)
+        from repro.errors import TranslationFault
+
+        for vpage in probes:
+            vaddr = KERNEL_VA_BASE + vpage * PAGE_BYTES + 0x18
+            if vpage in mapping:
+                result = cpu.mmu.translate(vaddr)
+                assert result.paddr == BASE + mapping[vpage] * PAGE_BYTES + 0x18
+            else:
+                with pytest.raises(TranslationFault):
+                    cpu.mmu.translate(vaddr)
+
+
+class TestMbmDetectionExactness:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sets(st.integers(0, 255), min_size=1, max_size=40),   # armed words
+        st.lists(st.integers(0, 255), min_size=1, max_size=60),  # writes
+    )
+    def test_detects_exactly_armed_words(self, armed, writes):
+        """Every uncached write to an armed word is detected; writes to
+        unarmed words never are — at word exactness."""
+        platform = small_platform()
+        mbm = MemoryBusMonitor(platform, raise_interrupts=False)
+        mbm.attach()
+        region = BASE + 0x20_0000
+        for word_index in armed:
+            word_addr, bit = mbm.bitmap.locate(region + word_index * 8)
+            platform.bus.poke(word_addr, platform.bus.peek(word_addr) | (1 << bit))
+        expected_hits = sum(1 for w in writes if w in armed)
+        for word_index in writes:
+            platform.caches.write(region + word_index * 8, word_index, cacheable=False)
+        assert mbm.events_detected == expected_hits
+        events = mbm.ring.consume_all()
+        for addr, _value in events:
+            assert (addr - region) // 8 in armed
+
+
+@pytest.fixture(scope="module")
+def _monitored():
+    system = build_hypernel(
+        platform_config=small_platform_config(),
+        monitors=[CredIntegrityMonitor(), DentryIntegrityMonitor()],
+    )
+    system.spawn_init()
+    return system
+
+
+class TestHypersecInvariantPreservation:
+    """Random legitimate kernel activity must keep every invariant."""
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(ops=st.lists(st.integers(0, 5), min_size=3, max_size=12),
+           rng=st.randoms(use_true_random=False))
+    def test_random_workload_keeps_invariants(self, _monitored, ops, rng):
+        system = _monitored
+        kernel = system.kernel
+        init = kernel.procs.tasks[1]
+        if kernel.procs.current is not init:
+            kernel.procs.context_switch(init)
+        kernel.vfs.mkdir_p("/p")
+        serial = rng.randrange(1 << 30)
+        for step, op in enumerate(ops):
+            tag = f"{serial}-{step}"
+            if op == 0:
+                child = kernel.sys.fork(init)
+                kernel.procs.context_switch(child)
+                kernel.sys.exit(child)
+                kernel.procs.context_switch(init)
+            elif op == 1:
+                kernel.sys.creat(init, f"/p/f{tag}")
+            elif op == 2:
+                vma = kernel.sys.mmap(init, 2 * PAGE_BYTES)
+                kernel.vmm.user_touch(init.mm, vma.start, is_write=True, value=1)
+                kernel.sys.munmap(init, vma)
+            elif op == 3:
+                kernel.sys.setuid(init, rng.randrange(2000))
+            elif op == 4:
+                path = f"/p/g{tag}"
+                kernel.sys.creat(init, path)
+                kernel.sys.unlink(init, path)
+            else:
+                kernel.sys.stat(init, "/p")
+        report = system.hypersec.audit()
+        assert report.clean, str(report)
+        for app in system.monitors:
+            assert app.alerts == []
+
+
+class TestAllocatorConsistency:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.sampled_from(["cred", "dentry", "inode"]),
+                    min_size=1, max_size=50),
+           st.integers(0, 3))
+    def test_slab_objects_disjoint_across_caches(self, kinds, free_every):
+        from repro.core.hypernel import build_native
+        from repro.kernel.objects import ALL_LAYOUTS
+
+        system = build_native(platform_config=small_platform_config())
+        kernel = system.kernel
+        live = []
+        for index, kind in enumerate(kinds):
+            layout = ALL_LAYOUTS[kind]
+            paddr = kernel.slab.cache(layout).alloc()
+            for base, size, _ in live:
+                assert not (paddr < base + size and base < paddr + layout.size_bytes)
+            live.append((paddr, layout.size_bytes, layout))
+            if free_every and index % (free_every + 1) == free_every:
+                base, _size, layout = live.pop(0)
+                kernel.slab.cache(layout).free(base)

@@ -1,0 +1,185 @@
+"""Unit tests for security applications, hooks and shadow tracking."""
+
+import pytest
+
+from repro.errors import SecurityViolation
+from repro.kernel.objects import CRED, DENTRY
+from repro.security.app import RegionTemplate, SecurityApp
+from repro.security.baseline_page import WholeObjectMonitor
+from repro.security.cred_monitor import CredIntegrityMonitor
+
+
+class TestSecurityAppBase:
+    def test_templates_select_layouts(self):
+        app = SecurityApp("t", [RegionTemplate("cred", "sensitive")])
+        assert app.wants(CRED)
+        assert not app.wants(DENTRY)
+
+    def test_sensitive_regions(self):
+        app = SecurityApp("t", [RegionTemplate("cred", "sensitive")])
+        regions = app.regions_for(CRED, 0x8000_0000)
+        assert regions == CRED.sensitive_ranges(0x8000_0000)
+
+    def test_whole_regions(self):
+        app = SecurityApp("t", [RegionTemplate("cred", "whole")])
+        assert app.regions_for(CRED, 0x8000_0000) == [(0x8000_0000, CRED.size_bytes)]
+
+    def test_announced_write_event_pairs_cleanly(self):
+        app = SecurityApp("t", [RegionTemplate("cred", "sensitive")])
+        app.on_region_registered(0x1000, 16, [5, 6])
+        app.on_authorized(0x1000, 7)
+        app.on_event(0x1000, 7)
+        assert not app.alerts
+
+    def test_unannounced_event_alerts(self):
+        app = SecurityApp("t", [RegionTemplate("cred", "sensitive")])
+        app.on_region_registered(0x1000, 16, [5, 6])
+        app.on_event(0x1008, 999)
+        assert len(app.alerts) == 1
+        assert app.alerts[0].expected == 6
+
+    def test_unannounced_event_with_unchanged_value_alerts(self):
+        """Even a write that does not change the value is suspicious if
+        no kernel code path announced it."""
+        app = SecurityApp("t", [RegionTemplate("cred", "sensitive")])
+        app.on_region_registered(0x1000, 16, [5, 6])
+        app.on_event(0x1000, 5)
+        assert len(app.alerts) == 1
+
+    def test_delayed_batched_events_pair_in_order(self):
+        """Interrupt coalescing delivers events late; the pending queue
+        pairs them with the announced writes in program order."""
+        app = SecurityApp("t", [RegionTemplate("cred", "sensitive")])
+        app.on_region_registered(0x1000, 8, [0])
+        app.on_authorized(0x1000, 1)
+        app.on_authorized(0x1000, 2)
+        app.on_authorized(0x1000, 3)
+        for value in (1, 2, 3):
+            app.on_event(0x1000, value)
+        assert not app.alerts
+
+    def test_lost_event_resynchronizes(self):
+        """A ring-overflow-dropped event must not desynchronize pairing."""
+        app = SecurityApp("t", [RegionTemplate("cred", "sensitive")])
+        app.on_region_registered(0x1000, 8, [0])
+        app.on_authorized(0x1000, 1)
+        app.on_authorized(0x1000, 2)
+        app.on_event(0x1000, 2)  # the event for value 1 was lost
+        assert not app.alerts
+        assert app.stats.get("skipped_events") == 1
+
+    def test_one_attack_one_alert(self):
+        app = SecurityApp("t", [RegionTemplate("cred", "sensitive")])
+        app.on_region_registered(0x1000, 8, [5])
+        app.on_event(0x1000, 9)
+        app.on_event(0x1000, 9)  # same hostile value re-observed
+        assert len(app.alerts) == 1
+
+    def test_unregister_clears_shadow(self):
+        app = SecurityApp("t", [RegionTemplate("cred", "sensitive")])
+        app.on_region_registered(0x1000, 8, [5])
+        app.on_region_unregistered(0x1000, 8)
+        app.on_event(0x1000, 9)  # unknown address: counted, no alert
+        assert not app.alerts
+        assert app.event_count == 1
+
+
+class TestCredMonitorPolicy:
+    def test_escalation_to_root_flagged_specifically(self):
+        monitor = CredIntegrityMonitor()
+        base = 0x2000 + CRED.field("uid").byte_offset
+        snapshot = [1000] * 13
+        monitor.on_region_registered(base, 13 * 8, snapshot)
+        monitor.on_event(base, 0)  # uid 1000 -> 0 unannounced
+        reasons = [alert.reason for alert in monitor.alerts]
+        assert any("escalation" in reason for reason in reasons)
+
+    def test_announced_setuid_not_flagged(self):
+        monitor = CredIntegrityMonitor()
+        base = 0x2000 + CRED.field("uid").byte_offset
+        monitor.on_region_registered(base, 13 * 8, [1000] * 13)
+        monitor.on_authorized(base, 0)
+        monitor.on_event(base, 0)
+        assert not monitor.alerts
+
+
+class TestEndToEndMonitoring:
+    def test_benign_workload_raises_no_alerts(self, monitored_system):
+        system = monitored_system
+        init = system.spawn_init()
+        kernel = system.kernel
+        kernel.vfs.mkdir_p("/tmp")
+        kernel.sys.creat(init, "/tmp/f")
+        kernel.sys.stat(init, "/tmp/f")
+        kernel.sys.setuid(init, 1000)
+        child = kernel.sys.fork(init)
+        kernel.procs.context_switch(child)
+        kernel.sys.exit(child)
+        kernel.procs.context_switch(init)
+        for app in system.monitors:
+            assert app.alerts == [], app.alerts
+
+    def test_direct_cred_write_detected(self, monitored_system):
+        system = monitored_system
+        init = system.spawn_init()
+        kernel = system.kernel
+        kernel.sys.setuid(init, 1000)
+        app = system.monitor_by_name("cred_monitor")
+        # The exploit primitive: a raw store, not a kernel code path.
+        kernel.cpu.write(
+            kernel.linear_map.kva(
+                init.cred_pa + CRED.field("euid").byte_offset
+            ),
+            0,
+        )
+        assert len(app.alerts) >= 1
+
+    def test_direct_dentry_write_detected(self, monitored_system):
+        system = monitored_system
+        init = system.spawn_init()
+        kernel = system.kernel
+        node = kernel.vfs.create("/victim")
+        app = system.monitor_by_name("dentry_monitor")
+        kernel.cpu.write(
+            kernel.linear_map.kva(
+                node.dentry_pa + DENTRY.field("d_inode").byte_offset
+            ),
+            0xBAD,
+        )
+        assert len(app.alerts) >= 1
+
+    def test_whole_object_monitor_counts_hot_traffic(self, platform_config):
+        from repro.core.hypernel import build_hypernel
+
+        system = build_hypernel(
+            platform_config=platform_config,
+            monitors=[WholeObjectMonitor(("dentry",))],
+        )
+        init = system.spawn_init()
+        kernel = system.kernel
+        kernel.vfs.mkdir_p("/tmp")
+        kernel.sys.creat(init, "/tmp/f")
+        app = system.monitors[0]
+        events_before = app.event_count
+        for _ in range(10):
+            kernel.sys.stat(init, "/tmp/f")  # pure lockref churn
+        assert app.event_count > events_before
+
+    def test_word_monitor_ignores_hot_traffic(self, monitored_system):
+        system = monitored_system
+        init = system.spawn_init()
+        kernel = system.kernel
+        kernel.vfs.mkdir_p("/tmp")
+        kernel.sys.creat(init, "/tmp/f")
+        app = system.monitor_by_name("dentry_monitor")
+        events_before = app.event_count
+        for _ in range(10):
+            kernel.sys.stat(init, "/tmp/f")
+        assert app.event_count == events_before
+
+    def test_hook_requires_registered_sid(self, monitored_system):
+        from repro.security.hooks import MonitorHookStub
+
+        stub = MonitorHookStub(monitored_system.kernel)
+        with pytest.raises(SecurityViolation):
+            stub.add_app(CredIntegrityMonitor())  # no SID assigned

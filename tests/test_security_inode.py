@@ -1,0 +1,88 @@
+"""Tests for the inode-monitor extension."""
+
+import pytest
+
+from repro.core.hypernel import build_hypernel
+from repro.kernel.objects import INODE
+from repro.security import InodeIntegrityMonitor
+from tests.conftest import small_platform_config
+
+
+@pytest.fixture
+def system():
+    system = build_hypernel(
+        platform_config=small_platform_config(),
+        monitors=[InodeIntegrityMonitor()],
+    )
+    system.spawn_init()
+    return system
+
+
+class TestInodeMonitor:
+    def test_registers_inode_regions(self, system):
+        words_before = system.hypersec.monitored_word_count()
+        system.kernel.vfs.create("/registered")
+        assert system.hypersec.monitored_word_count() > words_before
+
+    def test_benign_file_activity_raises_no_alerts(self, system):
+        kernel = system.kernel
+        init = kernel.procs.current
+        kernel.vfs.mkdir_p("/tmp")
+        kernel.sys.creat(init, "/tmp/f")
+        handle = kernel.sys.open(init, "/tmp/f")
+        kernel.sys.write(init, handle, 4096)
+        kernel.sys.fchmod(init, handle, 0o600)
+        kernel.sys.fchown(init, handle, 5, 6)
+        kernel.sys.close(init, handle)
+        kernel.sys.unlink(init, "/tmp/f")
+        app = system.monitor_by_name("inode_monitor")
+        assert app.alerts == []
+        assert app.event_count > 0
+
+    def test_setuid_root_backdoor_detected(self, system):
+        """The classic: flip i_mode to setuid-root with a raw write."""
+        kernel = system.kernel
+        node = kernel.vfs.create("/bin-sh")
+        app = system.monitor_by_name("inode_monitor")
+        mode_pa = node.inode_pa + INODE.field("i_mode").byte_offset
+        kernel.cpu.write(kernel.linear_map.kva(mode_pa), 0o104755)
+        assert len(app.alerts) == 1
+
+    def test_i_op_hijack_detected(self, system):
+        kernel = system.kernel
+        node = kernel.vfs.create("/victim")
+        app = system.monitor_by_name("inode_monitor")
+        op_pa = node.inode_pa + INODE.field("i_op").byte_offset
+        kernel.cpu.write(kernel.linear_map.kva(op_pa), 0xE71)
+        assert len(app.alerts) == 1
+
+    def test_hot_refcount_not_monitored(self, system):
+        """i_count churn must not generate events (word granularity)."""
+        kernel = system.kernel
+        node = kernel.vfs.create("/hot")
+        app = system.monitor_by_name("inode_monitor")
+        events_before = app.event_count
+        count_pa = node.inode_pa + INODE.field("i_count").byte_offset
+        for index in range(10):
+            kernel.kwrite(kernel.linear_map.kva(count_pa), index)
+        assert app.event_count == events_before
+
+    def test_combined_with_paper_monitors(self):
+        from repro.security import (
+            CredIntegrityMonitor,
+            DentryIntegrityMonitor,
+        )
+        system = build_hypernel(
+            platform_config=small_platform_config(),
+            monitors=[CredIntegrityMonitor(), DentryIntegrityMonitor(),
+                      InodeIntegrityMonitor()],
+        )
+        init = system.spawn_init()
+        kernel = system.kernel
+        kernel.vfs.mkdir_p("/tmp")
+        kernel.sys.creat(init, "/tmp/f")
+        sids = {app.sid for app in system.monitors}
+        assert len(sids) == 3
+        for app in system.monitors:
+            assert app.alerts == []
+        assert system.hypersec.audit().clean

@@ -1,0 +1,124 @@
+"""Tests for the bus tracer."""
+
+import pytest
+
+from repro.hw.bus import TxnKind
+from repro.tools.trace import BusTracer
+from tests.helpers import small_platform
+
+BASE = 0x8000_0000
+
+
+@pytest.fixture
+def platform():
+    return small_platform()
+
+
+class TestCapture:
+    def test_records_writes_with_time_and_value(self, platform):
+        tracer = BusTracer(platform).start()
+        platform.bus.write(BASE, 0x42)
+        tracer.stop()
+        assert len(tracer) == 1
+        record = tracer.records[0]
+        assert record.paddr == BASE
+        assert record.value == 0x42
+        assert record.cycle == platform.clock.now
+
+    def test_context_manager(self, platform):
+        with BusTracer(platform) as tracer:
+            platform.bus.write(BASE, 1)
+        platform.bus.write(BASE, 2)  # after stop: not captured
+        assert len(tracer) == 1
+
+    def test_range_filter(self, platform):
+        with BusTracer(platform, base=BASE + 0x1000, size=0x1000) as tracer:
+            platform.bus.write(BASE, 1)            # below
+            platform.bus.write(BASE + 0x1800, 2)   # inside
+            platform.bus.write(BASE + 0x2000, 3)   # above
+        assert [r.value for r in tracer.records] == [2]
+
+    def test_block_overlap_counts(self, platform):
+        with BusTracer(platform, base=BASE + 0x100, size=8) as tracer:
+            platform.bus.write_block(BASE, 64)  # covers the watched word
+            platform.bus.write_block(BASE + 0x200, 8)  # misses it
+        assert len(tracer) == 1
+        assert tracer.records[0].kind == "block_write"
+
+    def test_kind_filter(self, platform):
+        with BusTracer(platform, kinds=[TxnKind.WRITE]) as tracer:
+            platform.bus.read(BASE)
+            platform.bus.write(BASE, 1)
+        assert [r.kind for r in tracer.records] == ["write"]
+
+    def test_initiator_filter(self, platform):
+        with BusTracer(platform, initiators=["dma"]) as tracer:
+            platform.bus.write(BASE, 1, initiator="cpu")
+            platform.bus.write(BASE + 8, 2, initiator="dma")
+        assert [r.initiator for r in tracer.records] == ["dma"]
+
+    def test_capacity_drops_and_reports(self, platform):
+        with BusTracer(platform, capacity=2) as tracer:
+            for index in range(5):
+                platform.bus.write(BASE + index * 8, index)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert "dropped" in tracer.to_text()
+
+    def test_clear(self, platform):
+        with BusTracer(platform) as tracer:
+            platform.bus.write(BASE, 1)
+            tracer.clear()
+            platform.bus.write(BASE, 2)
+        assert [r.value for r in tracer.records] == [2]
+
+    def test_invalid_capacity(self, platform):
+        with pytest.raises(ValueError):
+            BusTracer(platform, capacity=0)
+
+
+class TestReporting:
+    def test_to_text_empty(self, platform):
+        assert "no transactions" in BusTracer(platform).to_text()
+
+    def test_to_text_last(self, platform):
+        with BusTracer(platform) as tracer:
+            for index in range(5):
+                platform.bus.write(BASE + index * 8, index)
+        assert len(tracer.to_text(last=2).splitlines()) == 2
+
+    def test_summary(self, platform):
+        with BusTracer(platform) as tracer:
+            platform.bus.write(BASE, 1)
+            platform.bus.read(BASE)
+            platform.bus.write(BASE + 0x1000, 2, initiator="dma")
+        summary = tracer.summary()
+        assert summary["records"] == 3
+        assert summary["by_kind"]["write"] == 2
+        assert summary["by_initiator"]["dma"] == 1
+        assert len(summary["hot_pages"]) == 2
+
+    def test_writes_to(self, platform):
+        with BusTracer(platform) as tracer:
+            platform.bus.write(BASE, 1)
+            platform.bus.write(BASE, 2)
+            platform.bus.write(BASE + 8, 3)
+        values = [r.value for r in tracer.writes_to(BASE)]
+        assert values == [1, 2]
+
+
+class TestWithExploitScenario:
+    def test_trace_catches_the_exploit_write(self, monitored_system):
+        """The tracer shows exactly the hostile store (examples use this)."""
+        from repro.kernel.objects import CRED
+
+        system = monitored_system
+        init = system.spawn_init()
+        kernel = system.kernel
+        euid_pa = init.cred_pa + CRED.field("euid").byte_offset
+        with BusTracer(system.platform, base=euid_pa, size=8,
+                       kinds=[TxnKind.WRITE]) as tracer:
+            kernel.cpu.write(kernel.linear_map.kva(euid_pa), 0)
+        hostile = tracer.writes_to(euid_pa)
+        assert len(hostile) == 1
+        assert hostile[0].value == 0

@@ -1,0 +1,113 @@
+"""Tests for the LMbench drivers and application workload models."""
+
+import pytest
+
+from repro.workloads.apps import (
+    ApacheWorkload,
+    DhrystoneWorkload,
+    IozoneWorkload,
+    UntarWorkload,
+    WhetstoneWorkload,
+    default_applications,
+)
+from repro.workloads.lmbench import LMBENCH_OPS, LmbenchSuite
+
+
+class TestLmbenchSuite:
+    @pytest.fixture
+    def suite(self, native_system):
+        suite = LmbenchSuite(native_system, warmup=1, iterations=2)
+        suite.setup()
+        return suite
+
+    def test_ops_match_table1_rows(self):
+        assert LMBENCH_OPS[0] == "syscall stat"
+        assert len(LMBENCH_OPS) == 9
+
+    def test_every_op_measures_positive_latency(self, suite):
+        for op in LMBENCH_OPS:
+            result = suite.run_op(op)
+            assert result.microseconds > 0, op
+
+    def test_fork_is_the_slowest_class(self, suite):
+        stat = suite.run_op("syscall stat").microseconds
+        fork = suite.run_op("fork+exit").microseconds
+        assert fork > 50 * stat
+
+    def test_socket_slower_than_pipe(self, suite):
+        pipe = suite.run_op("pipe lat").microseconds
+        socket = suite.run_op("socket lat").microseconds
+        assert socket > pipe
+
+    def test_fork_execv_slower_than_fork_exit(self, suite):
+        fork_exit = suite.run_op("fork+exit").microseconds
+        fork_execv = suite.run_op("fork+execv").microseconds
+        assert fork_execv > fork_exit
+
+    def test_setup_is_idempotent_per_suite(self, native_system):
+        suite = LmbenchSuite(native_system, warmup=0, iterations=1)
+        with pytest.raises(RuntimeError):
+            _ = suite.task  # before setup
+        suite.setup()
+        assert suite.task is not None
+
+
+class TestApplicationWorkloads:
+    @pytest.mark.parametrize("app_cls", [
+        WhetstoneWorkload, DhrystoneWorkload, UntarWorkload,
+        IozoneWorkload, ApacheWorkload,
+    ])
+    def test_runs_to_completion_on_native(self, native_system, app_cls):
+        shell = native_system.spawn_init()
+        app = app_cls(scale=0.03)
+        app.prepare(native_system, shell)
+        result = app.run(native_system, shell)
+        assert result.cycles > 0
+        # The shell is the only process left afterwards.
+        assert list(native_system.kernel.procs.tasks) == [shell.pid]
+
+    def test_runs_on_hypernel_with_monitors(self, monitored_system):
+        shell = monitored_system.spawn_init()
+        app = UntarWorkload(scale=0.03)
+        app.prepare(monitored_system, shell)
+        app.run(monitored_system, shell)
+        assert monitored_system.mbm.events_detected > 0
+        for monitor in monitored_system.monitors:
+            assert monitor.alerts == []
+
+    def test_default_applications_order(self):
+        names = [app.name for app in default_applications()]
+        assert names == ["whetstone", "dhrystone", "untar", "iozone", "apache"]
+
+    def test_scale_shrinks_work(self, native_system):
+        shell = native_system.spawn_init()
+        small = UntarWorkload(scale=0.05)
+        small.prepare(native_system, shell)
+        small_cycles = small.run(native_system, shell).cycles
+        big = UntarWorkload(scale=0.4)
+        big_cycles = big.run(native_system, shell).cycles
+        assert big_cycles > 2 * small_cycles
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            UntarWorkload(scale=0)
+
+    def test_compute_bound_apps_have_low_kernel_share(self, native_system):
+        shell = native_system.spawn_init()
+        app = WhetstoneWorkload(scale=0.1)
+        app.prepare(native_system, shell)
+        syscalls_before = native_system.kernel.sys.stats.get("total")
+        result = app.run(native_system, shell)
+        syscalls = native_system.kernel.sys.stats.get("total") - syscalls_before
+        # Far fewer syscalls than untar would issue for the same scale.
+        assert syscalls < 200
+        assert result.cycles > 1_000_000  # compute dominates
+
+    def test_untar_is_dentry_heavy(self, native_system):
+        shell = native_system.spawn_init()
+        app = UntarWorkload(scale=0.05)
+        app.prepare(native_system, shell)
+        created_before = native_system.kernel.vfs.stats.get("nodes_created")
+        app.run(native_system, shell)
+        created = native_system.kernel.vfs.stats.get("nodes_created") - created_before
+        assert created >= app._scaled(app.FILES)
