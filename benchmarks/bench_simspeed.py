@@ -1,0 +1,43 @@
+"""Simulation wall-clock speed benchmark (opt-in: ``-m simspeed``).
+
+Unlike the other benchmarks in this directory, which regenerate the
+paper's tables and figures on the *simulated* clock, this one measures
+the engine itself: simulated accesses per wall-clock second on the
+``repro.tools.perf`` workloads, gated against the committed
+``BENCH_simspeed.json`` baseline.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_simspeed.py -m simspeed -s
+
+The marker keeps it out of tier-1 runs (wall-clock assertions are
+machine sensitive); the determinism assertions, however, are exact.
+"""
+
+import pathlib
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.tools import perf
+
+pytestmark = pytest.mark.simspeed
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_simspeed.json"
+
+
+def test_simspeed_vs_baseline():
+    results = perf.run_simspeed(repeats=3)
+    text = perf.format_report(results)
+    path = save_result("simspeed", text)
+    print("\n" + text)
+    print(f"[saved to {path}]")
+    assert BASELINE.exists(), (
+        "no committed baseline; run "
+        "`PYTHONPATH=src python scripts/check_simspeed.py --update`"
+    )
+    baseline = perf.load_report(str(BASELINE))
+    failures = perf.compare_to_baseline(
+        perf.report_as_dict(results), baseline
+    )
+    assert not failures, "\n".join(failures)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Sim-speed regression gate.
+
+Runs the simulation-speed benchmark (``repro.tools.perf``) and compares
+it against the committed baseline ``BENCH_simspeed.json``:
+
+* fails (exit 1) when any workload's wall-clock throughput drops more
+  than the tolerance below the baseline (default 20%, machine-sensitive
+  — override with ``--tolerance`` or ``REPRO_SIMSPEED_TOLERANCE``);
+* fails when the *simulated* access or cycle counts differ from the
+  baseline at equal iteration counts — those are exact, machine
+  independent invariants: perf work must never change simulated
+  behaviour.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_simspeed.py            # gate
+    PYTHONPATH=src python scripts/check_simspeed.py --update   # re-baseline
+
+Also exposed as an opt-in pytest marker: ``pytest benchmarks -m simspeed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.tools import perf  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_simspeed.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="baseline JSON path (default: repo root)")
+    parser.add_argument("--iters-scale", type=float, default=1.0,
+                        help="scale on per-workload iteration counts; "
+                        "determinism checks only apply at the baseline's scale")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(
+                            "REPRO_SIMSPEED_TOLERANCE", perf.DEFAULT_TOLERANCE)),
+                        help="allowed wall-clock slowdown fraction")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="measure each workload N times and gate on the "
+                        "best run (wall clock is noisy; simulation is not)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline with this run's numbers")
+    args = parser.parse_args(argv)
+
+    results = perf.run_simspeed(iters_scale=args.iters_scale,
+                                repeats=args.repeats)
+    print(perf.format_report(results))
+
+    if args.update:
+        perf.write_report(results, args.baseline, iters_scale=args.iters_scale)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run with --update to create one")
+        return 1
+    baseline = perf.load_report(str(baseline_path))
+    current = perf.report_as_dict(results, iters_scale=args.iters_scale)
+    failures = perf.compare_to_baseline(current, baseline,
+                                        tolerance=args.tolerance)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print(f"ok: all workloads within {args.tolerance:.0%} of "
+          f"{baseline_path.name} and deterministically identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,7 +48,18 @@ class CPUCore:
         )
         self.current_el = EL1
         self.el2_vector: EL2Vector | None = None
+        self._reads = 0
+        self._writes = 0
         self.stats = StatSet("cpu")
+        self.stats.flush_hook = self._flush_stats
+
+    def _flush_stats(self) -> None:
+        if self._reads:
+            reads, self._reads = self._reads, 0
+            self.stats.add("reads", reads)
+        if self._writes:
+            writes, self._writes = self._writes, 0
+            self.stats.add("writes", writes)
 
     # ------------------------------------------------------------------
     # EL2 installation
@@ -92,14 +103,14 @@ class CPUCore:
         """Read one 64-bit word at virtual address ``vaddr``."""
         el = self.current_el if el is None else el
         result = self._translate(vaddr, is_write=False, el=el)
-        self.stats.add("reads")
+        self._reads += 1
         return self.platform.caches.read(result.paddr, result.cacheable)
 
     def write(self, vaddr: int, value: int, el: int | None = None) -> None:
         """Write one 64-bit word at virtual address ``vaddr``."""
         el = self.current_el if el is None else el
         result = self._translate(vaddr, is_write=True, el=el)
-        self.stats.add("writes")
+        self._writes += 1
         self.platform.caches.write(result.paddr, value, result.cacheable)
 
     def write_block(self, vaddr: int, nwords: int, el: int | None = None) -> None:

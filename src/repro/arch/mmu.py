@@ -65,21 +65,41 @@ class _TlbEntry:
 
 
 class TLB:
-    """A finite translation cache with FIFO replacement."""
+    """A finite translation cache with FIFO replacement.
+
+    Hit/miss accounting is batched: ``lookup`` bumps plain integers and
+    the :class:`StatSet` folds them in lazily (via its ``flush_hook``)
+    whenever the stats are read, so the per-lookup cost stays minimal.
+    ``epoch`` increments on every mutation (insert or invalidate); the
+    MMU's one-entry fast path uses it to know its cached translation is
+    still current.
+    """
 
     def __init__(self, name: str, entries: int):
         if entries <= 0:
             raise ValueError(f"TLB must have a positive capacity, got {entries}")
         self.capacity = entries
         self._entries: "OrderedDict[Tuple, _TlbEntry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self.epoch = 0
         self.stats = StatSet(name)
+        self.stats.flush_hook = self._flush_pending
+
+    def _flush_pending(self) -> None:
+        if self._hits:
+            hits, self._hits = self._hits, 0
+            self.stats.add("hits", hits)
+        if self._misses:
+            misses, self._misses = self._misses, 0
+            self.stats.add("misses", misses)
 
     def lookup(self, key: Tuple) -> Optional[_TlbEntry]:
         entry = self._entries.get(key)
         if entry is None:
-            self.stats.add("misses")
+            self._misses += 1
         else:
-            self.stats.add("hits")
+            self._hits += 1
         return entry
 
     def insert(self, key: Tuple, entry: _TlbEntry) -> None:
@@ -89,17 +109,24 @@ class TLB:
             self._entries.popitem(last=False)
             self.stats.add("evictions")
         self._entries[key] = entry
+        self.epoch += 1
 
     def invalidate_all(self) -> None:
         self.stats.add("invalidate_all")
         self._entries.clear()
+        self.epoch += 1
 
     def invalidate_matching(self, predicate) -> int:
         """Drop all entries whose key satisfies ``predicate``; returns count."""
-        doomed = [key for key in self._entries if predicate(key)]
-        for key in doomed:
-            del self._entries[key]
-        return len(doomed)
+        entries = self._entries
+        kept = OrderedDict(
+            (key, entry) for key, entry in entries.items() if not predicate(key)
+        )
+        dropped = len(entries) - len(kept)
+        if dropped:
+            self._entries = kept
+            self.epoch += 1
+        return dropped
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -124,6 +151,20 @@ class MMU:
         self.asid = 0   #: current address-space ID (user mappings)
         self.vmid = 0   #: VM ID (tags stage-2 entries)
         self.stats = StatSet("mmu")
+        # One-entry translation caches in front of the TLB dicts.  Each
+        # remembers the last (page, context) resolved and is implicitly
+        # invalidated by the owning TLB's epoch moving (any insert or
+        # invalidate).  A fast-path hit is still accounted as a TLB hit,
+        # so statistics are identical to the dict-probe path.
+        self._fast_vpage = -1
+        self._fast_asid = -1
+        self._fast_vmid = -1
+        self._fast_epoch = -1
+        self._fast_entry: Optional[_TlbEntry] = None
+        self._s2_fast_ipage = -1
+        self._s2_fast_vmid = -1
+        self._s2_fast_epoch = -1
+        self._s2_fast_entry: Optional[_TlbEntry] = None
 
     # ------------------------------------------------------------------
     # TLB maintenance ("TLBI" instructions)
@@ -154,11 +195,25 @@ class MMU:
         read-only stage-2 mapping."""
         if not self.regs.stage2_enabled:
             return ipa
-        key = (self.vmid, ipa >> 12)
-        entry = self.stage2_tlb.lookup(key)
-        if entry is None:
-            entry = self._walk_stage2(ipa)
-            self.stage2_tlb.insert(key, entry)
+        ipage = ipa >> 12
+        stage2_tlb = self.stage2_tlb
+        if (
+            ipage == self._s2_fast_ipage
+            and self.vmid == self._s2_fast_vmid
+            and stage2_tlb.epoch == self._s2_fast_epoch
+        ):
+            entry = self._s2_fast_entry
+            stage2_tlb._hits += 1
+        else:
+            key = (self.vmid, ipage)
+            entry = stage2_tlb.lookup(key)
+            if entry is None:
+                entry = self._walk_stage2(ipa)
+                stage2_tlb.insert(key, entry)
+            self._s2_fast_ipage = ipage
+            self._s2_fast_vmid = self.vmid
+            self._s2_fast_epoch = stage2_tlb.epoch
+            self._s2_fast_entry = entry
         if is_write and not entry.writable:
             raise Stage2Fault(
                 f"stage-2 write permission fault at IPA {ipa:#x}", ipa, True
@@ -239,13 +294,32 @@ class MMU:
                 level=3,
             )
 
-        space, offset = split_vaddr(vaddr)
-        asid = self.asid if space == "user" else GLOBAL_ASID
-        key = (self.vmid, asid, vaddr >> 12)
-        entry = self.tlb.lookup(key)
-        if entry is None:
-            entry = self._walk_stage1(vaddr, space, offset, is_write)
-            self.tlb.insert(key, entry)
+        vpage = vaddr >> 12
+        tlb = self.tlb
+        if (
+            vpage == self._fast_vpage
+            and self.asid == self._fast_asid
+            and self.vmid == self._fast_vmid
+            and tlb.epoch == self._fast_epoch
+        ):
+            # Same page, same translation context, TLB untouched since:
+            # the dict probe would return the identical entry, so skip
+            # the split/key-build/probe and count the hit directly.
+            entry = self._fast_entry
+            tlb._hits += 1
+        else:
+            space, offset = split_vaddr(vaddr)
+            asid = self.asid if space == "user" else GLOBAL_ASID
+            key = (self.vmid, asid, vpage)
+            entry = tlb.lookup(key)
+            if entry is None:
+                entry = self._walk_stage1(vaddr, space, offset, is_write)
+                tlb.insert(key, entry)
+            self._fast_vpage = vpage
+            self._fast_asid = self.asid
+            self._fast_vmid = self.vmid
+            self._fast_epoch = tlb.epoch
+            self._fast_entry = entry
         self._check_permissions(entry, vaddr, is_write, el, is_exec)
         if self.regs.stage2_enabled:
             # The cached stage-1 result holds an IPA page; combine with

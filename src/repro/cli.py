@@ -10,6 +10,8 @@ Commands:
 * ``attacks`` — run the attack/protection matrix and print verdicts.
 * ``audit`` — build a monitored Hypernel system, run a workload and
   verify every security invariant against live machine state.
+* ``bench-simspeed`` — measure simulation wall-clock throughput
+  (simulated accesses per second) and write ``BENCH_simspeed.json``.
 """
 
 from __future__ import annotations
@@ -173,14 +175,58 @@ def cmd_audit(args) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_bench_simspeed(args) -> int:
+    from repro.tools import perf
+
+    results = perf.run_simspeed(iters_scale=args.iters_scale,
+                                repeats=args.repeats)
+    print(perf.format_report(results))
+    if args.output:
+        perf.write_report(results, args.output, iters_scale=args.iters_scale)
+        print(f"[saved to {args.output}]")
+    if args.baseline:
+        try:
+            baseline = perf.load_report(args.baseline)
+        except FileNotFoundError:
+            print(f"error: baseline not found: {args.baseline}")
+            return 1
+        failures = perf.compare_to_baseline(
+            perf.report_as_dict(results, iters_scale=args.iters_scale),
+            baseline,
+            tolerance=args.tolerance,
+        )
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print(f"ok: within {args.tolerance:.0%} of {args.baseline}")
+    return 0
+
+
+def _add_simspeed_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--iters-scale", type=float, default=1.0,
+                        help="scale factor on per-workload iteration counts")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per workload; the best is reported "
+                        "(wall clock is noisy, simulation is not)")
+    parser.add_argument("--output", default="BENCH_simspeed.json",
+                        help="JSON report path ('' to skip writing)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to gate against (exit 1 on regression)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed wall-clock slowdown vs baseline (default 0.20)")
+
+
+#: command name -> (handler, extra-argument installer or None).
 _COMMANDS = {
-    "info": cmd_info,
-    "table1": cmd_table1,
-    "figure6": cmd_figure6,
-    "table2": cmd_table2,
-    "attacks": cmd_attacks,
-    "audit": cmd_audit,
-    "report": cmd_report,
+    "info": (cmd_info, _add_common),
+    "table1": (cmd_table1, _add_common),
+    "figure6": (cmd_figure6, _add_common),
+    "table2": (cmd_table2, _add_common),
+    "attacks": (cmd_attacks, _add_common),
+    "audit": (cmd_audit, _add_common),
+    "report": (cmd_report, _add_common),
+    "bench-simspeed": (cmd_bench_simspeed, _add_simspeed_args),
 }
 
 
@@ -190,9 +236,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Hypernel (DAC 2018) reproduction harness",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    for name, handler in _COMMANDS.items():
+    for name, (handler, add_args) in _COMMANDS.items():
         sub = subparsers.add_parser(name, help=handler.__doc__)
-        _add_common(sub)
+        if add_args is not None:
+            add_args(sub)
         sub.set_defaults(handler=handler)
     args = parser.parse_args(argv)
     return args.handler(args)

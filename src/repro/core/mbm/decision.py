@@ -28,15 +28,22 @@ class DecisionUnit:
         self.ring = ring
         self.costs = costs
         self.raise_irq = raise_irq
+        self._checked = 0
         self.stats = StatSet("mbm_decision")
+        self.stats.flush_hook = self._flush_pending
         self.busy_cycles = 0
+
+    def _flush_pending(self) -> None:
+        if self._checked:
+            checked, self._checked = self._checked, 0
+            self.stats.add("checked", checked)
 
     def decide(
         self, paddr: int, value: Optional[int], bitmap_word: int, bit: int
     ) -> bool:
         """Process one captured event; True when it was a monitored hit."""
         self.busy_cycles += self.costs.mbm_decision
-        self.stats.add("checked")
+        self._checked += 1
         if not (bitmap_word >> bit) & 1:
             return False
         self.stats.add("hits")

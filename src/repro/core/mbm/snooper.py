@@ -30,16 +30,24 @@ class BusTrafficSnooper:
 
     def __init__(self, mbm: "MemoryBusMonitor"):
         self.mbm = mbm
+        self._observed = 0
         self.stats = StatSet("mbm_snooper")
+        self.stats.flush_hook = self._flush_pending
+
+    def _flush_pending(self) -> None:
+        if self._observed:
+            observed, self._observed = self._observed, 0
+            self.stats.add("observed", observed)
 
     def __call__(self, txn: BusTransaction) -> None:
         """Observe one bus transaction (installed as a bus snooper)."""
         mbm = self.mbm
-        if txn.initiator == "mbm":
+        initiator = txn.initiator
+        if initiator == "mbm":
             return  # our own bitmap fetches / ring stores
-        self.stats.add("observed")
+        self._observed += 1
         # Secure-region tamper detection (DMA attack, Discussion section).
-        if txn.is_write_like and txn.initiator not in ("cpu",):
+        if initiator != "cpu" and txn.is_write_like:
             if self._overlaps_secure(txn):
                 self.stats.add("secure_tamper_writes")
                 mbm.tamper_alert.fire(txn)

@@ -33,8 +33,15 @@ class BitmapTranslator:
         self.bitmap = bitmap
         self.cache = cache
         self.costs = costs
+        self._translations = 0
         self.stats = StatSet("mbm_translator")
+        self.stats.flush_hook = self._flush_pending
         self.busy_cycles = 0
+
+    def _flush_pending(self) -> None:
+        if self._translations:
+            translations, self._translations = self._translations, 0
+            self.stats.add("translations", translations)
 
     def fetch_word(self, bitmap_word_paddr: int) -> int:
         """Return the bitmap word, consulting the cache first."""
@@ -51,5 +58,5 @@ class BitmapTranslator:
     def translate(self, paddr: int) -> tuple[int, int]:
         """Bitmap word value and bit index for one captured address."""
         bitmap_word_paddr, bit = self.bitmap.locate(paddr)
-        self.stats.add("translations")
+        self._translations += 1
         return self.fetch_word(bitmap_word_paddr), bit

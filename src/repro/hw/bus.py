@@ -77,6 +77,29 @@ class MemoryBus:
         self.clock = clock
         self._snoopers: List[Snooper] = []
         self.stats = StatSet("bus")
+        self.stats.flush_hook = self._flush_stats
+        # Batched hot-path counters, folded into ``stats`` on read.
+        self._reads = 0
+        self._writes = 0
+        self._line_fills = 0
+        self._writebacks = 0
+        self._block_writes = 0
+        self._block_words = 0
+
+    def _flush_stats(self) -> None:
+        stats = self.stats
+        for key, attr in (
+            ("reads", "_reads"),
+            ("writes", "_writes"),
+            ("line_fills", "_line_fills"),
+            ("writebacks", "_writebacks"),
+            ("block_writes", "_block_writes"),
+            ("block_words", "_block_words"),
+        ):
+            pending = getattr(self, attr)
+            if pending:
+                setattr(self, attr, 0)
+                stats.add(key, pending)
 
     # ------------------------------------------------------------------
     # Snooper management
@@ -107,8 +130,9 @@ class MemoryBus:
         if charge:
             self.clock.advance(cycles)
         value = self.memory.read_word(paddr)
-        self.stats.add("reads")
-        self._notify(BusTransaction(TxnKind.READ, paddr, None, 1, initiator))
+        self._reads += 1
+        if self._snoopers:
+            self._notify(BusTransaction(TxnKind.READ, paddr, None, 1, initiator))
         return value
 
     def write(
@@ -119,8 +143,9 @@ class MemoryBus:
         if charge:
             self.clock.advance(cycles)
         self.memory.write_word(paddr, value)
-        self.stats.add("writes")
-        self._notify(BusTransaction(TxnKind.WRITE, paddr, value, 1, initiator))
+        self._writes += 1
+        if self._snoopers:
+            self._notify(BusTransaction(TxnKind.WRITE, paddr, value, 1, initiator))
 
     # ------------------------------------------------------------------
     # Line transfers (cache hierarchy)
@@ -128,10 +153,13 @@ class MemoryBus:
     def fill_line(self, line_paddr: int, initiator: str = "cpu") -> None:
         """Fetch one cache line from DRAM (timing + snoop only)."""
         self.clock.advance(self.dram.burst_cycles(line_paddr, LINE_WORDS))
-        self.stats.add("line_fills")
-        self._notify(
-            BusTransaction(TxnKind.LINE_FILL, line_paddr, None, LINE_WORDS, initiator)
-        )
+        self._line_fills += 1
+        if self._snoopers:
+            self._notify(
+                BusTransaction(
+                    TxnKind.LINE_FILL, line_paddr, None, LINE_WORDS, initiator
+                )
+            )
 
     def writeback_line(self, line_paddr: int, initiator: str = "cpu") -> None:
         """Write one dirty line back to DRAM.
@@ -141,10 +169,13 @@ class MemoryBus:
         timing-only.
         """
         self.clock.advance(self.dram.burst_cycles(line_paddr, LINE_WORDS))
-        self.stats.add("writebacks")
-        self._notify(
-            BusTransaction(TxnKind.WRITEBACK, line_paddr, None, LINE_WORDS, initiator)
-        )
+        self._writebacks += 1
+        if self._snoopers:
+            self._notify(
+                BusTransaction(
+                    TxnKind.WRITEBACK, line_paddr, None, LINE_WORDS, initiator
+                )
+            )
 
     # ------------------------------------------------------------------
     # Bulk transfers (workload data streams)
@@ -162,11 +193,12 @@ class MemoryBus:
             return
         if charge:
             self.clock.advance(self.dram.burst_cycles(paddr, nwords))
-        self.stats.add("block_writes")
-        self.stats.add("block_words", nwords)
-        self._notify(
-            BusTransaction(TxnKind.BLOCK_WRITE, paddr, None, nwords, initiator)
-        )
+        self._block_writes += 1
+        self._block_words += nwords
+        if self._snoopers:
+            self._notify(
+                BusTransaction(TxnKind.BLOCK_WRITE, paddr, None, nwords, initiator)
+            )
 
     # ------------------------------------------------------------------
     # Backdoor access (no timing, no snoop) for loaders and checkers

@@ -38,12 +38,33 @@ class Cache:
         self.line_bytes = line_bytes
         self.ways = ways
         self.num_sets = size_bytes // (ways * line_bytes)
+        # Precomputed shift/mask set indexing for the (usual) power-of-two
+        # geometry; ``None`` falls back to divide/modulo.
+        if line_bytes & (line_bytes - 1) == 0 and self.num_sets & (self.num_sets - 1) == 0:
+            self._line_shift: Optional[int] = line_bytes.bit_length() - 1
+            self._set_mask = self.num_sets - 1
+        else:
+            self._line_shift = None
+            self._set_mask = 0
         # Per-set LRU ordering: maps line base address -> dirty flag.
         # OrderedDict order is LRU -> MRU.
         self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self._hits = 0
+        self._misses = 0
         self.stats = StatSet(name)
+        self.stats.flush_hook = self._flush_pending
+
+    def _flush_pending(self) -> None:
+        if self._hits:
+            hits, self._hits = self._hits, 0
+            self.stats.add("hits", hits)
+        if self._misses:
+            misses, self._misses = self._misses, 0
+            self.stats.add("misses", misses)
 
     def _set_index(self, line_addr: int) -> int:
+        if self._line_shift is not None:
+            return (line_addr >> self._line_shift) & self._set_mask
         return (line_addr // self.line_bytes) % self.num_sets
 
     def _set_for(self, line_addr: int) -> "OrderedDict[int, bool]":
@@ -51,13 +72,13 @@ class Cache:
 
     def lookup(self, line_addr: int, touch: bool = True) -> bool:
         """True if the line is resident; refreshes LRU when ``touch``."""
-        lines = self._set_for(line_addr)
-        if line_addr in lines:
+        lines = self._sets.get(self._set_index(line_addr))
+        if lines is not None and line_addr in lines:
             if touch:
                 lines.move_to_end(line_addr)
-            self.stats.add("hits")
+            self._hits += 1
             return True
-        self.stats.add("misses")
+        self._misses += 1
         return False
 
     def insert(self, line_addr: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
@@ -82,13 +103,15 @@ class Cache:
 
     def mark_dirty(self, line_addr: int) -> None:
         """Set the dirty bit of a resident line (no-op when absent)."""
-        lines = self._set_for(line_addr)
-        if line_addr in lines:
+        lines = self._sets.get(self._set_index(line_addr))
+        if lines is not None and line_addr in lines:
             lines[line_addr] = True
 
     def remove(self, line_addr: int) -> Optional[bool]:
         """Invalidate a line; returns its dirty bit, or ``None`` if absent."""
-        lines = self._set_for(line_addr)
+        lines = self._sets.get(self._set_index(line_addr))
+        if lines is None:
+            return None
         return lines.pop(line_addr, None)
 
     def resident_lines(self) -> List[int]:
@@ -118,15 +141,34 @@ class CacheHierarchy:
         self.bus = bus
         self.costs = costs
         self.stats = StatSet("cache_hierarchy")
+        self.stats.flush_hook = self._flush_pending
+        self._line_mask = ~(l1.line_bytes - 1)
+        self._cached_reads = 0
+        self._cached_writes = 0
+        self._uncached_reads = 0
+        self._uncached_writes = 0
+
+    def _flush_pending(self) -> None:
+        stats = self.stats
+        for key, attr in (
+            ("cached_reads", "_cached_reads"),
+            ("cached_writes", "_cached_writes"),
+            ("uncached_reads", "_uncached_reads"),
+            ("uncached_writes", "_uncached_writes"),
+        ):
+            pending = getattr(self, attr)
+            if pending:
+                setattr(self, attr, 0)
+                stats.add(key, pending)
 
     # ------------------------------------------------------------------
     def _line_addr(self, paddr: int) -> int:
-        return align_down(paddr, self.l1.line_bytes)
+        return paddr & self._line_mask
 
     def _ensure_resident(self, paddr: int, initiator: str) -> None:
         """Bring the line containing ``paddr`` into L1 (and L2), charging
         the appropriate latencies and emitting fill/writeback traffic."""
-        line = self._line_addr(paddr)
+        line = paddr & self._line_mask
         if self.l1.lookup(line):
             self.bus.clock.advance(self.costs.l1_hit)
             return
@@ -154,11 +196,11 @@ class CacheHierarchy:
     def read(self, paddr: int, cacheable: bool, initiator: str = "cpu") -> int:
         """Read one word through the hierarchy."""
         if not cacheable:
-            self.stats.add("uncached_reads")
+            self._uncached_reads += 1
             return self.bus.read(paddr, initiator=initiator)
-        self.stats.add("cached_reads")
+        self._cached_reads += 1
         self._ensure_resident(paddr, initiator)
-        return self.bus.peek(paddr)
+        return self.bus.memory.read_word(paddr)
 
     def write(self, paddr: int, value: int, cacheable: bool, initiator: str = "cpu") -> None:
         """Write one word through the hierarchy.
@@ -168,13 +210,13 @@ class CacheHierarchy:
         appears on the bus.
         """
         if not cacheable:
-            self.stats.add("uncached_writes")
+            self._uncached_writes += 1
             self.bus.write(paddr, value, initiator=initiator)
             return
-        self.stats.add("cached_writes")
+        self._cached_writes += 1
         self._ensure_resident(paddr, initiator)
-        self.l1.mark_dirty(self._line_addr(paddr))
-        self.bus.poke(paddr, value)
+        self.l1.mark_dirty(paddr & self._line_mask)
+        self.bus.memory.write_word(paddr, value)
 
     def touch_block(self, paddr: int, nwords: int, is_write: bool) -> None:
         """Run a sequential ``nwords`` access stream through the caches.
@@ -190,8 +232,8 @@ class CacheHierarchy:
         if nwords <= 0:
             return
         line_bytes = self.l1.line_bytes
-        first = align_down(paddr, line_bytes)
-        last = align_down(paddr + (nwords - 1) * 8, line_bytes)
+        first = paddr & self._line_mask
+        last = (paddr + (nwords - 1) * 8) & self._line_mask
         for line in range(first, last + 1, line_bytes):
             if is_write:
                 self._install_dirty(line)

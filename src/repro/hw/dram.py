@@ -26,7 +26,22 @@ class DramModel:
         self._banks = banks
         self._row_bytes = row_bytes
         self._open_rows: Dict[int, int] = {}
+        self._row_hits = 0
+        self._row_misses = 0
+        self._burst_words = 0
         self.stats = StatSet("dram")
+        self.stats.flush_hook = self._flush_pending
+
+    def _flush_pending(self) -> None:
+        if self._row_hits:
+            hits, self._row_hits = self._row_hits, 0
+            self.stats.add("row_hits", hits)
+        if self._row_misses:
+            misses, self._row_misses = self._row_misses, 0
+            self.stats.add("row_misses", misses)
+        if self._burst_words:
+            words, self._burst_words = self._burst_words, 0
+            self.stats.add("burst_words", words)
 
     def _decompose(self, paddr: int) -> tuple[int, int]:
         row = paddr // self._row_bytes
@@ -35,12 +50,14 @@ class DramModel:
 
     def access_cycles(self, paddr: int) -> int:
         """Latency in cycles for one access at ``paddr``; updates row state."""
-        bank, row = self._decompose(paddr)
-        if self._open_rows.get(bank) == row:
-            self.stats.add("row_hits")
+        row = paddr // self._row_bytes
+        bank = row % self._banks
+        open_rows = self._open_rows
+        if open_rows.get(bank) == row:
+            self._row_hits += 1
             return self._costs.dram_row_hit
-        self._open_rows[bank] = row
-        self.stats.add("row_misses")
+        open_rows[bank] = row
+        self._row_misses += 1
         return self._costs.dram_row_miss
 
     def burst_cycles(self, paddr: int, nwords: int) -> int:
@@ -53,7 +70,7 @@ class DramModel:
             return 0
         total = self.access_cycles(paddr)
         total += nwords - 1
-        self.stats.add("burst_words", nwords)
+        self._burst_words += nwords
         return total
 
     def reset(self) -> None:

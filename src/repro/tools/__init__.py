@@ -1,5 +1,22 @@
-"""Developer tooling: bus tracing and system reports."""
+"""Developer tooling: bus tracing, system reports and perf measurement."""
 
 from repro.tools.trace import BusTracer, TraceRecord
+from repro.tools.perf import (
+    WorkloadSpeed,
+    compare_to_baseline,
+    format_report,
+    run_simspeed,
+    run_workload,
+    write_report,
+)
 
-__all__ = ["BusTracer", "TraceRecord"]
+__all__ = [
+    "BusTracer",
+    "TraceRecord",
+    "WorkloadSpeed",
+    "compare_to_baseline",
+    "format_report",
+    "run_simspeed",
+    "run_workload",
+    "write_report",
+]

@@ -1,0 +1,303 @@
+"""Simulation wall-clock speed measurement (simulated accesses / second).
+
+The reproduction's results are produced by millions of simulated memory
+accesses funnelled through pure-Python hot paths; how *fast* those paths
+run bounds the workload scales and ablation sweeps we can afford.  This
+module measures engine throughput on three representative workloads:
+
+``fork_execv``
+    LMbench's fork+execv on a Native system — page-table construction,
+    COW, page zeroing: the ``PhysicalMemory`` bulk-path stress.
+``mmap_storm``
+    LMbench's mmap/touch/munmap loop — translation and fault churn: the
+    TLB/cache fast-path stress.
+``monitored_write_storm``
+    Repeated uncached writes to a monitored word on a full Hypernel
+    system — bus, snooper, MBM pipeline and ring-buffer stress.
+
+Two kinds of numbers come out:
+
+* ``accesses_per_sec`` (wall clock) — the figure of merit tracked by
+  ``scripts/check_simspeed.py`` across PRs;
+* ``accesses`` and ``sim_cycles`` (simulated) — **deterministic**: they
+  must be bit-identical run-to-run and machine-to-machine, so the gate
+  also uses them to prove perf work changed no simulated behaviour.
+
+``python -m repro bench-simspeed`` runs everything and writes
+``BENCH_simspeed.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform_mod
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import PlatformConfig
+
+#: JSON schema version for ``BENCH_simspeed.json``.
+SCHEMA_VERSION = 1
+
+#: Default wall-clock regression tolerance (fraction) for the gate.
+DEFAULT_TOLERANCE = 0.20
+
+
+def default_platform_config() -> PlatformConfig:
+    """The small platform the speed workloads run on (128 MB DRAM)."""
+    return PlatformConfig(
+        dram_bytes=128 * 1024 * 1024, secure_bytes=16 * 1024 * 1024
+    )
+
+
+@dataclass
+class WorkloadSpeed:
+    """Measured throughput of one workload."""
+
+    workload: str
+    iterations: int
+    wall_seconds: float
+    accesses: int        #: simulated accesses performed (deterministic)
+    sim_cycles: int      #: simulated cycles elapsed (deterministic)
+    accesses_per_sec: float
+
+    def as_dict(self) -> Dict:
+        return asdict(self)
+
+
+def count_accesses(system) -> int:
+    """Simulated memory accesses performed so far on ``system``.
+
+    Counts CPU word/block accesses plus the DRAM-level traffic the cache
+    hierarchy generated; the exact composition matters less than its
+    determinism — the same workload must always produce the same count.
+    """
+    cpu = system.cpu.stats
+    bus = system.platform.bus.stats
+    return (
+        cpu.get("reads")
+        + cpu.get("writes")
+        + cpu.get("block_read_words")
+        + cpu.get("block_write_words")
+        + bus.get("reads")
+        + bus.get("writes")
+        + bus.get("line_fills")
+        + bus.get("writebacks")
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload definitions
+# ----------------------------------------------------------------------
+def _build_lmbench(config: PlatformConfig):
+    from repro.core.hypernel import build_native
+    from repro.workloads.lmbench import LmbenchSuite
+
+    system = build_native(platform_config=config)
+    suite = LmbenchSuite(system)
+    suite.setup()
+    return system, suite
+
+
+def _build_fork_execv(config: PlatformConfig) -> Tuple[object, Callable[[], None]]:
+    system, suite = _build_lmbench(config)
+    return system, suite.op_fork_execv
+
+
+def _build_mmap_storm(config: PlatformConfig) -> Tuple[object, Callable[[], None]]:
+    system, suite = _build_lmbench(config)
+    return system, suite.op_mmap
+
+
+def _build_monitored_write_storm(
+    config: PlatformConfig,
+) -> Tuple[object, Callable[[], None]]:
+    from repro.core.hypernel import build_hypernel
+    from repro.kernel.objects import CRED
+    from repro.security import CredIntegrityMonitor
+
+    system = build_hypernel(
+        platform_config=config, monitors=[CredIntegrityMonitor()]
+    )
+    init = system.spawn_init()
+    euid_kva = system.kernel.linear_map.kva(
+        init.cred_pa + CRED.field("euid").byte_offset
+    )
+    write = system.kernel.cpu.write
+
+    def op() -> None:
+        write(euid_kva, 0)
+
+    return system, op
+
+
+#: name -> (builder, default iteration count)
+WORKLOADS: Dict[str, Tuple[Callable, int]] = {
+    "fork_execv": (_build_fork_execv, 100),
+    "mmap_storm": (_build_mmap_storm, 250),
+    "monitored_write_storm": (_build_monitored_write_storm, 3000),
+}
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+def run_workload(
+    name: str,
+    iterations: Optional[int] = None,
+    platform_config: Optional[PlatformConfig] = None,
+) -> WorkloadSpeed:
+    """Build the workload's system, run it and measure throughput."""
+    try:
+        builder, default_iters = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown simspeed workload {name!r}; "
+            f"choose from {sorted(WORKLOADS)}"
+        ) from None
+    iterations = default_iters if iterations is None else iterations
+    if iterations <= 0:
+        raise ValueError(f"iterations must be positive, got {iterations}")
+    system, op = builder(platform_config or default_platform_config())
+    accesses_before = count_accesses(system)
+    cycles_before = system.platform.clock.now
+    start = time.perf_counter()
+    for _ in range(iterations):
+        op()
+    wall = time.perf_counter() - start
+    accesses = count_accesses(system) - accesses_before
+    cycles = system.platform.clock.now - cycles_before
+    return WorkloadSpeed(
+        workload=name,
+        iterations=iterations,
+        wall_seconds=round(wall, 6),
+        accesses=accesses,
+        sim_cycles=cycles,
+        accesses_per_sec=round(accesses / wall, 1) if wall > 0 else 0.0,
+    )
+
+
+def run_simspeed(
+    iters_scale: float = 1.0,
+    platform_config: Optional[PlatformConfig] = None,
+    workloads: Optional[List[str]] = None,
+    repeats: int = 1,
+) -> List[WorkloadSpeed]:
+    """Measure every (or the selected) workload.
+
+    ``iters_scale`` scales the default iteration counts; note that the
+    deterministic fields (``accesses``, ``sim_cycles``) are only
+    comparable between runs using the same scale.
+
+    ``repeats`` measures each workload several times (a fresh system
+    each time) and keeps the best throughput — wall clock is noisy on a
+    shared machine, the simulation is not.  The deterministic fields
+    must agree across repeats; a mismatch raises ``RuntimeError``.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    names = list(WORKLOADS) if workloads is None else workloads
+    results = []
+    for name in names:
+        default_iters = WORKLOADS[name][1]
+        iterations = max(1, int(round(default_iters * iters_scale)))
+        best: Optional[WorkloadSpeed] = None
+        for _ in range(repeats):
+            run = run_workload(name, iterations=iterations,
+                               platform_config=platform_config)
+            if best is not None and (
+                run.accesses != best.accesses
+                or run.sim_cycles != best.sim_cycles
+            ):
+                raise RuntimeError(
+                    f"{name}: repeated runs disagree on simulated work "
+                    f"(accesses {best.accesses} vs {run.accesses}, cycles "
+                    f"{best.sim_cycles} vs {run.sim_cycles}) — the engine "
+                    f"is not deterministic"
+                )
+            if best is None or run.accesses_per_sec > best.accesses_per_sec:
+                best = run
+        results.append(best)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Reporting and the regression gate
+# ----------------------------------------------------------------------
+def report_as_dict(results: List[WorkloadSpeed],
+                   iters_scale: float = 1.0) -> Dict:
+    """The ``BENCH_simspeed.json`` document for a set of results."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "iters_scale": iters_scale,
+        "python": _platform_mod.python_version(),
+        "workloads": {r.workload: r.as_dict() for r in results},
+    }
+
+
+def format_report(results: List[WorkloadSpeed]) -> str:
+    """Human-readable table of one measurement run."""
+    lines = [
+        f"{'workload':24s} {'iters':>7s} {'wall s':>8s} "
+        f"{'accesses':>10s} {'sim cycles':>12s} {'acc/s':>12s}"
+    ]
+    for r in results:
+        lines.append(
+            f"{r.workload:24s} {r.iterations:7d} {r.wall_seconds:8.3f} "
+            f"{r.accesses:10d} {r.sim_cycles:12d} {r.accesses_per_sec:12.0f}"
+        )
+    return "\n".join(lines)
+
+
+def write_report(results: List[WorkloadSpeed], path: str,
+                 iters_scale: float = 1.0) -> None:
+    with open(path, "w") as handle:
+        json.dump(report_as_dict(results, iters_scale), handle, indent=2)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare_to_baseline(
+    current: Dict,
+    baseline: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Compare two report dicts; returns a list of failure descriptions.
+
+    Two classes of failure:
+
+    * **throughput regression** — a workload's ``accesses_per_sec``
+      dropped more than ``tolerance`` below the baseline (machine
+      sensitive, hence the generous default);
+    * **determinism drift** — with matching iteration counts, the
+      simulated ``accesses`` or ``sim_cycles`` differ at all.  These are
+      exact invariants: perf work must not change simulated behaviour.
+    """
+    failures: List[str] = []
+    baseline_workloads = baseline.get("workloads", {})
+    for name, entry in current.get("workloads", {}).items():
+        base = baseline_workloads.get(name)
+        if base is None:
+            continue
+        floor = base["accesses_per_sec"] * (1.0 - tolerance)
+        if entry["accesses_per_sec"] < floor:
+            failures.append(
+                f"{name}: throughput {entry['accesses_per_sec']:.0f} acc/s "
+                f"is below the allowed floor {floor:.0f} "
+                f"(baseline {base['accesses_per_sec']:.0f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+        if entry["iterations"] == base["iterations"]:
+            for field in ("accesses", "sim_cycles"):
+                if entry[field] != base[field]:
+                    failures.append(
+                        f"{name}: simulated {field} changed "
+                        f"({base[field]} -> {entry[field]}) — the engine's "
+                        f"behaviour is no longer deterministic vs baseline"
+                    )
+    return failures

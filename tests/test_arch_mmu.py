@@ -149,6 +149,58 @@ class TestTlb:
         assert cpu.mmu.translate(0x40_0000, el=0).paddr == BASE + 0x1000
         assert cpu.mmu.stats.get("stage1_walks") == walks
 
+    def test_invalidate_asid_is_selective(self, platform, cpu):
+        """invalidate_matching drops exactly the predicate's entries."""
+        b1 = TableBuilder(platform, BASE + 0x10_0000)
+        b2 = TableBuilder(platform, BASE + 0x20_0000)
+        npages = 5
+        for i in range(npages):
+            b1.map_page(0x40_0000 + i * PAGE_BYTES, BASE + 0x1000, user=True)
+            b2.map_page(0x40_0000 + i * PAGE_BYTES, BASE + 0x2000, user=True)
+        cpu.regs.set_bits("SCTLR_EL1", SCTLR_M)
+        for asid, builder in ((1, b1), (2, b2)):
+            cpu.regs.write("TTBR0_EL1", builder.root)
+            cpu.mmu.asid = asid
+            for i in range(npages):
+                cpu.mmu.translate(0x40_0000 + i * PAGE_BYTES, el=0)
+        assert len(cpu.mmu.tlb) == 2 * npages
+        # Dropping ASID 1 removes exactly its entries and reports the count.
+        dropped = cpu.mmu.tlb.invalidate_matching(lambda key: key[1] == 1)
+        assert dropped == npages
+        assert len(cpu.mmu.tlb) == npages
+        # ASID 2 is untouched: translating again needs no new walks ...
+        walks = cpu.mmu.stats.get("stage1_walks")
+        cpu.regs.write("TTBR0_EL1", b2.root)
+        cpu.mmu.asid = 2
+        for i in range(npages):
+            cpu.mmu.translate(0x40_0000 + i * PAGE_BYTES, el=0)
+        assert cpu.mmu.stats.get("stage1_walks") == walks
+        # ... while ASID 1 must re-walk each page.
+        cpu.regs.write("TTBR0_EL1", b1.root)
+        cpu.mmu.asid = 1
+        for i in range(npages):
+            cpu.mmu.translate(0x40_0000 + i * PAGE_BYTES, el=0)
+        assert cpu.mmu.stats.get("stage1_walks") == walks + npages
+        # Invalidating an ASID with no entries is a clean no-op.
+        assert cpu.mmu.tlb.invalidate_matching(lambda key: key[1] == 99) == 0
+
+    def test_repeated_same_page_hits_count_like_tlb_hits(self, platform, cpu):
+        """The one-entry fast path must account hits exactly like the
+        dict probe it shortcuts."""
+        builder = TableBuilder(platform, BASE + 0x10_0000)
+        vaddr = KERNEL_VA_BASE + 0x20_0000
+        builder.map_page(vaddr, BASE + 0x5000)
+        enable_mmu(cpu, builder.root)
+        for i in range(10):
+            cpu.mmu.translate(vaddr + i * 8)
+        assert cpu.mmu.stats.get("stage1_walks") == 1
+        assert cpu.mmu.tlb.stats.get("hits") == 9
+        assert cpu.mmu.tlb.stats.get("misses") == 1
+        # An invalidate drops the fast-path entry too.
+        cpu.mmu.invalidate_all()
+        cpu.mmu.translate(vaddr)
+        assert cpu.mmu.stats.get("stage1_walks") == 2
+
 
 class TestPermissions:
     @pytest.fixture

@@ -80,6 +80,87 @@ class TestBulkHelpers:
         assert memory.read_words(BASE + 0x100, 4) == [1, 2, 3, 4]
 
 
+class TestRangeIndex:
+    """The bisect range index behind contains/check and the fast paths."""
+
+    def test_overlap_rejected_among_many_ranges(self):
+        mem = PhysicalMemory()
+        for i in range(8):
+            mem.add_range(0x1000_0000 * (i + 1), 0x10000)
+        # Overlapping any of them (first, middle, last) is rejected.
+        for base in (0x1000_0000, 0x4000_8000, 0x8000_fff8):
+            with pytest.raises(MemoryRangeError):
+                mem.add_range(base & ~7, 0x10000)
+        # The index still resolves every installed range.
+        for i in range(8):
+            assert mem.contains(0x1000_0000 * (i + 1))
+            assert not mem.contains(0x1000_0000 * (i + 1) + 0x10000)
+
+    def test_ranges_stay_sorted_regardless_of_insert_order(self):
+        mem = PhysicalMemory()
+        for base in (0x3000_0000, 0x1000_0000, 0x2000_0000):
+            mem.add_range(base, 0x1000)
+        assert mem.ranges == [
+            (0x1000_0000, 0x1000_1000),
+            (0x2000_0000, 0x2000_1000),
+            (0x3000_0000, 0x3000_1000),
+        ]
+
+    def test_last_range_cache_follows_alternating_accesses(self):
+        mem = PhysicalMemory()
+        mem.add_range(0x1000_0000, 0x1000)
+        mem.add_range(0x2000_0000, 0x1000)
+        for _ in range(3):
+            mem.write_word(0x1000_0000, 1)
+            mem.write_word(0x2000_0000, 2)
+        assert mem.read_word(0x1000_0000) == 1
+        assert mem.read_word(0x2000_0000) == 2
+        with pytest.raises(MemoryRangeError):
+            mem.read_word(0x1800_0000)
+
+
+class TestChunkedBacking:
+    def test_fill_across_chunk_boundary(self, memory):
+        # 64 KB chunks: a run straddling the first boundary.
+        start = BASE + 0x10000 - 8 * 4
+        memory.fill(start, 8, 0x55)
+        assert memory.read_words(start, 8) == [0x55] * 8
+        assert memory.population() == 8
+
+    def test_fill_zero_is_sparse_and_erases(self, memory):
+        memory.fill(BASE, 2048, 0)          # never-written: allocates nothing
+        assert memory.population() == 0
+        memory.fill(BASE, 2048, 7)
+        memory.fill(BASE, 2048, 0)
+        assert memory.population() == 0
+        assert memory.read_word(BASE + 8 * 1000) == 0
+
+    def test_fill_spanning_adjacent_ranges(self, memory):
+        memory.add_range(BASE + SIZE, 0x1000)
+        start = BASE + SIZE - 8 * 2
+        memory.fill(start, 4, 0xEE)
+        assert memory.read_words(start, 4) == [0xEE] * 4
+
+    def test_fill_past_end_of_backing_raises_after_writing(self, memory):
+        start = BASE + SIZE - 8 * 2
+        with pytest.raises(MemoryRangeError):
+            memory.fill(start, 4, 0xAA)
+        # The in-range prefix was written (same as the per-word original).
+        assert memory.read_words(start, 2) == [0xAA, 0xAA]
+
+    def test_copy_words_across_chunk_boundary(self, memory):
+        src = BASE
+        dst = BASE + 0x10000 - 8 * 2
+        for i in range(4):
+            memory.write_word(src + i * 8, i + 1)
+        memory.copy_words(src, dst, 4)
+        assert memory.read_words(dst, 4) == [1, 2, 3, 4]
+
+    def test_copy_of_zeros_allocates_nothing(self, memory):
+        memory.copy_words(BASE, BASE + 0x20000, 512)
+        assert memory.population() == 0
+
+
 class TestPropertyBased:
     @settings(max_examples=50)
     @given(

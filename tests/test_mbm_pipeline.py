@@ -73,6 +73,79 @@ class TestDetection:
         assert mbm.events_detected == 0
 
 
+class TestBlockWriteSnooping:
+    """BLOCK_WRITE semantics: a bulk copy is one transaction carrying the
+    covered range, and the MBM must find every monitored word in it —
+    at the edges of the range as well as in the middle."""
+
+    def test_monitored_words_at_range_edges_detected(self, platform, mbm):
+        # First word, a middle word and the last word of a 64-word burst.
+        arm(mbm, TARGET, 8)
+        arm(mbm, TARGET + 31 * 8, 8)
+        arm(mbm, TARGET + 63 * 8, 8)
+        platform.bus.write_block(TARGET, 64)
+        assert mbm.events_detected == 3
+        events = mbm.ring.consume_all()
+        assert {addr for addr, _ in events} == {
+            TARGET, TARGET + 31 * 8, TARGET + 63 * 8
+        }
+
+    def test_words_just_outside_covered_range_ignored(self, platform, mbm):
+        arm(mbm, TARGET - 8, 8)        # one word before the burst
+        arm(mbm, TARGET + 64 * 8, 8)   # one word after the burst
+        platform.bus.write_block(TARGET, 64)
+        assert mbm.events_detected == 0
+
+    def test_block_values_unavailable(self, platform, mbm):
+        """Block-modelled streams carry no per-word values: the ring
+        records the all-ones sentinel."""
+        arm(mbm, TARGET, 8)
+        platform.bus.write_block(TARGET, 4)
+        [(addr, value)] = mbm.ring.consume_all()
+        assert addr == TARGET
+        assert value == (1 << 64) - 1
+
+    def test_snooper_sees_one_transaction_per_block(self, platform, mbm):
+        observed = mbm.snooper.stats.get("observed")
+        platform.bus.write_block(TARGET, 512)
+        assert mbm.snooper.stats.get("observed") == observed + 1
+        assert platform.bus.stats.get("block_writes") == 1
+        assert platform.bus.stats.get("block_words") == 512
+
+    def test_bulk_copy_through_cpu_path_detected(self, platform, mbm):
+        """A CPU bulk write over non-cacheable pages reaches the bus as
+        BLOCK_WRITE transactions whose ranges include the monitored word."""
+        from repro.arch.cpu import CPUCore
+        from repro.arch.pagetable import KERNEL_VA_BASE
+        from repro.arch.registers import SCTLR_M
+        from tests.helpers import TableBuilder
+
+        cpu = CPUCore(platform)
+        builder = TableBuilder(platform, TARGET + 0x20_0000)
+        vaddr = KERNEL_VA_BASE + 0x10_0000
+        builder.map_page(vaddr, TARGET, cacheable=False)
+        builder.map_page(vaddr + 0x1000, TARGET + 0x1000, cacheable=False)
+        cpu.regs.write("TTBR1_EL1", builder.root)
+        cpu.regs.set_bits("SCTLR_EL1", SCTLR_M)
+
+        monitored = TARGET + 100 * 8
+        arm(mbm, monitored, 8)
+        cpu.write_block(vaddr, 700)  # 5600 bytes: spans both mapped pages
+        assert mbm.events_detected == 1
+        [(addr, _)] = mbm.ring.consume_all()
+        assert addr == monitored
+
+    def test_detached_snooper_sees_nothing_but_stats_still_count(self, platform, mbm):
+        """With no snoopers attached the bus skips notification entirely;
+        transaction statistics must still be exact."""
+        arm(mbm, TARGET, 8)
+        mbm.detach()
+        platform.bus.write_block(TARGET, 64)
+        assert mbm.events_detected == 0
+        assert platform.bus.stats.get("block_writes") == 1
+        assert platform.bus.stats.get("block_words") == 64
+
+
 class TestCacheabilityRequirement:
     def test_cacheable_writes_are_invisible(self, platform, mbm):
         """Paper 5.3: without the non-cacheable attribute, writes hide in

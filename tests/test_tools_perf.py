@@ -1,0 +1,135 @@
+"""Unit tests for the simulation-speed measurement module.
+
+These stay fast by running workloads at tiny iteration counts; the
+wall-clock-scale measurements live in ``benchmarks/bench_simspeed.py``
+behind the ``simspeed`` marker.
+"""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.tools import perf
+
+
+def small_config():
+    return PlatformConfig(
+        dram_bytes=64 * 1024 * 1024, secure_bytes=8 * 1024 * 1024
+    )
+
+
+class TestRunWorkload:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown simspeed workload"):
+            perf.run_workload("does_not_exist")
+
+    def test_nonpositive_iterations_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            perf.run_workload("fork_execv", iterations=0)
+
+    def test_measurement_fields_populated(self):
+        result = perf.run_workload(
+            "monitored_write_storm", iterations=5,
+            platform_config=small_config(),
+        )
+        assert result.workload == "monitored_write_storm"
+        assert result.iterations == 5
+        assert result.accesses > 0
+        assert result.sim_cycles > 0
+        assert result.wall_seconds >= 0
+        assert result.accesses_per_sec > 0
+
+    def test_nonpositive_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            perf.run_simspeed(repeats=0)
+
+    def test_repeats_agree_and_best_is_kept(self):
+        [result] = perf.run_simspeed(
+            iters_scale=0.001, workloads=["monitored_write_storm"],
+            repeats=2, platform_config=small_config(),
+        )
+        # Tiny run: 3000 * 0.001 = 3 iterations; repeats must agree on
+        # the simulated fields or run_simspeed raises.
+        assert result.iterations == 3
+        assert result.accesses > 0
+
+    def test_simulated_fields_are_deterministic(self):
+        runs = [
+            perf.run_workload(
+                "fork_execv", iterations=2, platform_config=small_config()
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].accesses == runs[1].accesses
+        assert runs[0].sim_cycles == runs[1].sim_cycles
+
+
+class TestReporting:
+    def _result(self, **overrides):
+        fields = dict(
+            workload="fork_execv", iterations=10, wall_seconds=0.5,
+            accesses=1000, sim_cycles=5000, accesses_per_sec=2000.0,
+        )
+        fields.update(overrides)
+        return perf.WorkloadSpeed(**fields)
+
+    def test_report_roundtrip(self, tmp_path):
+        path = str(tmp_path / "report.json")
+        perf.write_report([self._result()], path, iters_scale=0.5)
+        loaded = perf.load_report(path)
+        assert loaded["schema"] == perf.SCHEMA_VERSION
+        assert loaded["iters_scale"] == 0.5
+        assert loaded["workloads"]["fork_execv"]["accesses"] == 1000
+
+    def test_format_report_lists_every_workload(self):
+        text = perf.format_report(
+            [self._result(), self._result(workload="mmap_storm")]
+        )
+        assert "fork_execv" in text
+        assert "mmap_storm" in text
+
+
+class TestBaselineGate:
+    def _report(self, acc_per_sec, accesses=1000, cycles=5000, iters=10):
+        return {
+            "schema": perf.SCHEMA_VERSION,
+            "workloads": {
+                "fork_execv": {
+                    "workload": "fork_execv", "iterations": iters,
+                    "wall_seconds": 0.5, "accesses": accesses,
+                    "sim_cycles": cycles, "accesses_per_sec": acc_per_sec,
+                }
+            },
+        }
+
+    def test_identical_reports_pass(self):
+        report = self._report(2000.0)
+        assert perf.compare_to_baseline(report, report) == []
+
+    def test_small_slowdown_within_tolerance_passes(self):
+        current = self._report(1700.0)   # -15% vs 2000, tolerance 20%
+        assert perf.compare_to_baseline(current, self._report(2000.0)) == []
+
+    def test_large_slowdown_fails(self):
+        current = self._report(1500.0)   # -25%
+        failures = perf.compare_to_baseline(current, self._report(2000.0))
+        assert len(failures) == 1
+        assert "throughput" in failures[0]
+
+    def test_determinism_drift_fails_even_when_faster(self):
+        current = self._report(9000.0, accesses=1001)
+        failures = perf.compare_to_baseline(current, self._report(2000.0))
+        assert len(failures) == 1
+        assert "deterministic" in failures[0]
+
+    def test_cycle_drift_fails(self):
+        current = self._report(2000.0, cycles=5001)
+        failures = perf.compare_to_baseline(current, self._report(2000.0))
+        assert any("sim_cycles" in f for f in failures)
+
+    def test_different_iteration_counts_skip_exact_check(self):
+        current = self._report(2000.0, accesses=123, cycles=456, iters=5)
+        assert perf.compare_to_baseline(current, self._report(2000.0)) == []
+
+    def test_workload_missing_from_baseline_ignored(self):
+        baseline = {"schema": perf.SCHEMA_VERSION, "workloads": {}}
+        assert perf.compare_to_baseline(self._report(2000.0), baseline) == []
