@@ -6,7 +6,7 @@ Paper claim reproduced: average overheads of ~13.5% (KVM-guest) vs
 everywhere, while syscall/I/O-heavy ones expose the hypervisor costs.
 """
 
-from benchmarks.conftest import bench_platform_config, bench_scale, save_result
+from benchmarks.conftest import bench_jobs, bench_platform_config, bench_scale, save_result
 from repro.analysis.figures import run_figure6
 
 
@@ -15,7 +15,8 @@ def test_figure6_applications(benchmark):
 
     def regenerate():
         result["fig6"] = run_figure6(
-            scale=bench_scale(), platform_factory=bench_platform_config
+            scale=bench_scale(), platform_factory=bench_platform_config,
+            jobs=bench_jobs(),
         )
         return result["fig6"]
 

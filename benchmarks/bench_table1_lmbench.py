@@ -7,7 +7,7 @@ operations; Hypernel's average overhead is roughly half of KVM's
 the largest absolute deltas.
 """
 
-from benchmarks.conftest import bench_platform_config, save_result
+from benchmarks.conftest import bench_jobs, bench_platform_config, save_result
 from repro.analysis.tables import run_table1
 
 
@@ -19,6 +19,7 @@ def test_table1_lmbench(benchmark):
             platform_factory=bench_platform_config,
             warmup=4,
             iterations=12,
+            jobs=bench_jobs(),
         )
         return result["table1"]
 

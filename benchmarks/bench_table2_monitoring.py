@@ -10,7 +10,7 @@ ratio scale-invariance); the paper's absolute untar count (2.17M) would
 correspond to extracting a much larger tree than the default scaled run.
 """
 
-from benchmarks.conftest import bench_platform_config, bench_scale, save_result
+from benchmarks.conftest import bench_jobs, bench_platform_config, bench_scale, save_result
 from repro.analysis.monitoring import run_table2
 
 
@@ -19,7 +19,8 @@ def test_table2_monitoring_granularity(benchmark):
 
     def regenerate():
         result["table2"] = run_table2(
-            scale=bench_scale(), platform_factory=bench_platform_config
+            scale=bench_scale(), platform_factory=bench_platform_config,
+            jobs=bench_jobs(),
         )
         return result["table2"]
 

@@ -6,6 +6,9 @@ Environment knobs:
   0.25; 1.0 approximates the paper's full runs but takes minutes).
 * ``REPRO_BENCH_DRAM_MB`` — simulated DRAM size (default 192 MB; the
   paper's performance platform had 2 GB, which only slows boot here).
+* ``REPRO_BENCH_JOBS`` — worker processes for independent experiment
+  cells (default 1 = serial; the table/figure benchmarks fan their
+  per-system cells out over ``repro.tools.runner``).
 
 Each benchmark regenerates one table/figure, writes the formatted
 result to ``benchmarks/results/`` and attaches the headline numbers to
@@ -24,6 +27,10 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def bench_platform_config() -> PlatformConfig:

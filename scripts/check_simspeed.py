@@ -10,7 +10,14 @@ it against the committed baseline ``BENCH_simspeed.json``:
 * fails when the *simulated* access or cycle counts differ from the
   baseline at equal iteration counts — those are exact, machine
   independent invariants: perf work must never change simulated
-  behaviour.
+  behaviour;
+* verifies the parallel-runner entries: both ``table1_runner_*``
+  workloads must be present in the baseline, serial and parallel runs
+  must report *identical* simulated accesses/sim_cycles (fan-out must
+  not change simulated behaviour), and on hosts with >= 4 cores the
+  parallel run must be at least ``--min-parallel-speedup`` (default
+  2.0x, env ``REPRO_MIN_PARALLEL_SPEEDUP``) faster than the serial
+  run.  On smaller hosts the speedup is reported but not gated.
 
 Usage::
 
@@ -34,6 +41,45 @@ from repro.tools import perf  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_simspeed.json"
 
+#: Gate the parallel speedup only on hosts that can actually exhibit it.
+SPEEDUP_GATE_MIN_CORES = 4
+
+
+def runner_failures(current: dict, baseline: dict,
+                    min_speedup: float) -> list:
+    """Check the parallel-runner workload pair (see module docstring)."""
+    failures = []
+    serial_name = perf.RUNNER_SERIAL_WORKLOAD
+    parallel_name = perf.RUNNER_PARALLEL_WORKLOAD
+    for name in (serial_name, parallel_name):
+        if name not in baseline.get("workloads", {}):
+            failures.append(
+                f"{name}: missing from the baseline — re-run with --update"
+            )
+    current_workloads = current.get("workloads", {})
+    serial = current_workloads.get(serial_name)
+    parallel = current_workloads.get(parallel_name)
+    if not serial or not parallel:
+        return failures
+    for field in ("accesses", "sim_cycles"):
+        if serial[field] != parallel[field]:
+            failures.append(
+                f"parallel runner changed simulated {field} vs serial "
+                f"({serial[field]} vs {parallel[field]}) — fan-out must "
+                f"not change simulated behaviour"
+            )
+    cores = os.cpu_count() or 1
+    if parallel["wall_seconds"] > 0:
+        speedup = serial["wall_seconds"] / parallel["wall_seconds"]
+        print(f"parallel table1 runner speedup: {speedup:.2f}x "
+              f"(jobs=4 on {cores} cores)")
+        if cores >= SPEEDUP_GATE_MIN_CORES and speedup < min_speedup:
+            failures.append(
+                f"parallel table1 runner speedup {speedup:.2f}x is below "
+                f"the required {min_speedup:.2f}x on a {cores}-core host"
+            )
+    return failures
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -51,6 +97,11 @@ def main(argv=None) -> int:
                         "best run (wall clock is noisy; simulation is not)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline with this run's numbers")
+    parser.add_argument("--min-parallel-speedup", type=float,
+                        default=float(os.environ.get(
+                            "REPRO_MIN_PARALLEL_SPEEDUP", "2.0")),
+                        help="required table1 runner speedup at jobs=4 "
+                        "(gated only on hosts with >= 4 cores)")
     args = parser.parse_args(argv)
 
     results = perf.run_simspeed(iters_scale=args.iters_scale,
@@ -70,6 +121,8 @@ def main(argv=None) -> int:
     current = perf.report_as_dict(results, iters_scale=args.iters_scale)
     failures = perf.compare_to_baseline(current, baseline,
                                         tolerance=args.tolerance)
+    failures += runner_failures(current, baseline,
+                                min_speedup=args.min_parallel_speedup)
     for failure in failures:
         print(f"FAIL: {failure}")
     if failures:

@@ -1,14 +1,21 @@
-"""Figure 6 runner: application benchmarks, normalized to native."""
+"""Figure 6 runner: application benchmarks, normalized to native.
+
+Like Table 1, each system configuration is one independent
+:class:`~repro.tools.runner.Cell`; normalization to native happens at
+merge time in the parent, so the parallel path and the serial path
+produce byte-identical results (see DESIGN.md §5b).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.config import PlatformConfig
 from repro.core.hypernel import build_system
 from repro.analysis import paper
 from repro.analysis.compare import arithmetic_mean, format_table
+from repro.tools.runner import Cell, CellCache, run_cells
 from repro.workloads.apps import ApplicationWorkload, default_applications
 
 SYSTEMS = ["native", "kvm-guest", "hypernel"]
@@ -55,28 +62,77 @@ class Figure6Result:
         return "\n".join(lines)
 
 
+def figure6_cells(
+    scale: float = 0.25,
+    platform_factory: Optional[Callable[[], PlatformConfig]] = None,
+    apps: Optional[List[ApplicationWorkload]] = None,
+) -> List[Cell]:
+    """One cell per system configuration, in ``SYSTEMS`` order.
+
+    With the default app set, cells carry only the scale (the worker
+    rebuilds the apps) and are cacheable; caller-supplied workload
+    objects travel inside the spec and make the cell uncacheable.
+    """
+    spec: Dict[str, Any] = {"scale": scale}
+    if apps is not None:
+        spec["apps"] = apps
+    return [
+        Cell(
+            kind="figure6",
+            environment=system_name,
+            workload="apps",
+            spec=dict(spec),
+            platform_config=(
+                platform_factory() if platform_factory is not None else None
+            ),
+            cacheable=apps is None,
+        )
+        for system_name in SYSTEMS
+    ]
+
+
+def execute_cell(cell: Cell) -> Dict[str, Any]:
+    """Worker body: build one system, run every application on it."""
+    from repro.tools.perf import count_accesses
+
+    apps = cell.spec.get("apps")
+    if apps is None:
+        apps = default_applications(cell.spec["scale"])
+    kwargs = {}
+    if cell.platform_config is not None:
+        kwargs["platform_config"] = cell.platform_config
+    if cell.environment == "hypernel":
+        kwargs["with_mbm"] = False  # paper 7.1: only Hypersec active
+    if cell.environment == "kvm-guest":
+        kwargs["prepopulate_stage2"] = True  # steady-state guest
+    system = build_system(cell.environment, **kwargs)
+    shell = system.spawn_init()
+    raw_us: Dict[str, float] = {}
+    for app in apps:
+        app.prepare(system, shell)
+        run = app.run(system, shell)
+        raw_us[app.name] = run.microseconds
+    return {
+        "raw_us": raw_us,
+        "accesses": count_accesses(system),
+        "sim_cycles": system.platform.clock.now,
+    }
+
+
 def run_figure6(
     scale: float = 0.25,
     platform_factory: Optional[Callable[[], PlatformConfig]] = None,
     apps: Optional[List[ApplicationWorkload]] = None,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
 ) -> Figure6Result:
     """Run each application on each system; normalize to native."""
     result = Figure6Result()
-    apps = apps if apps is not None else default_applications(scale)
-    for system_name in SYSTEMS:
-        kwargs = {}
-        if platform_factory is not None:
-            kwargs["platform_config"] = platform_factory()
-        if system_name == "hypernel":
-            kwargs["with_mbm"] = False  # paper 7.1: only Hypersec active
-        if system_name == "kvm-guest":
-            kwargs["prepopulate_stage2"] = True  # steady-state guest
-        system = build_system(system_name, **kwargs)
-        shell = system.spawn_init()
-        for app in apps:
-            app.prepare(system, shell)
-            run = app.run(system, shell)
-            result.raw_us.setdefault(app.name, {})[system_name] = run.microseconds
+    cells = figure6_cells(scale, platform_factory, apps)
+    payloads = run_cells(cells, jobs=jobs, cache=cache)
+    for cell, payload in zip(cells, payloads):
+        for app_name, microseconds in payload["raw_us"].items():
+            result.raw_us.setdefault(app_name, {})[cell.environment] = microseconds
     for app_name, row in result.raw_us.items():
         native = row["native"]
         result.normalized[app_name] = {

@@ -13,7 +13,7 @@ Reproduces the paper's section 7.2 methodology exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.config import PlatformConfig
 from repro.core.hypernel import build_hypernel
@@ -22,6 +22,7 @@ from repro.analysis.compare import format_table
 from repro.security.baseline_page import WholeObjectMonitor
 from repro.security.cred_monitor import CredIntegrityMonitor
 from repro.security.dentry_monitor import DentryIntegrityMonitor
+from repro.tools.runner import Cell, CellCache, run_cells
 from repro.workloads.apps import ApplicationWorkload, default_applications
 
 GRANULARITIES = ["page", "word"]
@@ -81,29 +82,72 @@ def _page_granularity_monitors():
     return [WholeObjectMonitor(("cred", "dentry"))]
 
 
+def table2_cells(
+    scale: float = 0.25,
+    platform_factory: Optional[Callable[[], PlatformConfig]] = None,
+    apps: Optional[List[ApplicationWorkload]] = None,
+) -> List[Cell]:
+    """One cell per monitoring granularity, in ``GRANULARITIES`` order."""
+    spec: Dict[str, Any] = {"scale": scale}
+    if apps is not None:
+        spec["apps"] = apps
+    return [
+        Cell(
+            kind="table2",
+            environment=granularity,
+            workload="apps",
+            spec=dict(spec),
+            platform_config=(
+                platform_factory() if platform_factory is not None else None
+            ),
+            cacheable=apps is None,
+        )
+        for granularity in GRANULARITIES
+    ]
+
+
+def execute_cell(cell: Cell) -> Dict[str, Any]:
+    """Worker body: one monitored Hypernel system, all applications."""
+    from repro.tools.perf import count_accesses
+
+    apps = cell.spec.get("apps")
+    if apps is None:
+        apps = default_applications(cell.spec["scale"])
+    monitors = (
+        _page_granularity_monitors()
+        if cell.environment == "page"
+        else _word_granularity_monitors()
+    )
+    kwargs = {}
+    if cell.platform_config is not None:
+        kwargs["platform_config"] = cell.platform_config
+    system = build_hypernel(with_mbm=True, monitors=monitors, **kwargs)
+    shell = system.spawn_init()
+    counts: Dict[str, int] = {}
+    for app in apps:
+        app.prepare(system, shell)
+        before = system.mbm.events_detected
+        app.run(system, shell)
+        counts[app.name] = system.mbm.events_detected - before
+    return {
+        "counts": counts,
+        "accesses": count_accesses(system),
+        "sim_cycles": system.platform.clock.now,
+    }
+
+
 def run_table2(
     scale: float = 0.25,
     platform_factory: Optional[Callable[[], PlatformConfig]] = None,
     apps: Optional[List[ApplicationWorkload]] = None,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
 ) -> Table2Result:
     """Run the five applications under both monitoring configurations."""
     result = Table2Result(scale=scale)
-    for granularity in GRANULARITIES:
-        monitors = (
-            _page_granularity_monitors()
-            if granularity == "page"
-            else _word_granularity_monitors()
-        )
-        kwargs = {}
-        if platform_factory is not None:
-            kwargs["platform_config"] = platform_factory()
-        system = build_hypernel(with_mbm=True, monitors=monitors, **kwargs)
-        shell = system.spawn_init()
-        run_apps = apps if apps is not None else default_applications(scale)
-        for app in run_apps:
-            app.prepare(system, shell)
-            before = system.mbm.events_detected
-            app.run(system, shell)
-            delta = system.mbm.events_detected - before
-            result.counts.setdefault(app.name, {})[granularity] = delta
+    cells = table2_cells(scale, platform_factory, apps)
+    payloads = run_cells(cells, jobs=jobs, cache=cache)
+    for cell, payload in zip(cells, payloads):
+        for app_name, delta in payload["counts"].items():
+            result.counts.setdefault(app_name, {})[cell.environment] = delta
     return result

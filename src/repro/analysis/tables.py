@@ -1,14 +1,21 @@
-"""Table 1 runner: LMbench kernel operations on the three systems."""
+"""Table 1 runner: LMbench kernel operations on the three systems.
+
+Each system configuration is one independent :class:`~repro.tools.runner.Cell`
+(fresh machine, full op sweep), so Table 1 regenerates in parallel with
+``jobs > 1`` and caches per-system results content-addressed; the merged
+table is byte-identical to a serial run (see DESIGN.md §5b).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.config import PlatformConfig
 from repro.core.hypernel import build_system
 from repro.analysis import paper
 from repro.analysis.compare import arithmetic_mean, format_table, overhead_percent
+from repro.tools.runner import Cell, CellCache, run_cells
 from repro.workloads.lmbench import LMBENCH_OPS, LmbenchSuite
 
 SYSTEMS = ["native", "kvm-guest", "hypernel"]
@@ -33,7 +40,7 @@ class Table1Result:
         if include_paper:
             headers += [f"paper {s}" for s in SYSTEMS]
         body = []
-        for op in LMBENCH_OPS:
+        for op in self.rows:
             row = [op] + [f"{self.rows[op][s]:.2f}" for s in SYSTEMS]
             if include_paper:
                 row += [f"{paper.TABLE1[op][s]:.2f}" for s in SYSTEMS]
@@ -49,28 +56,69 @@ class Table1Result:
         return table + footer
 
 
+def table1_cells(
+    platform_factory: Optional[Callable[[], PlatformConfig]] = None,
+    warmup: int = 4,
+    iterations: int = 16,
+    ops: Optional[List[str]] = None,
+) -> List[Cell]:
+    """One cell per system configuration, in ``SYSTEMS`` order."""
+    ops = list(ops or LMBENCH_OPS)
+    return [
+        Cell(
+            kind="table1",
+            environment=system_name,
+            workload="lmbench",
+            spec={"ops": ops, "warmup": warmup, "iterations": iterations},
+            platform_config=(
+                platform_factory() if platform_factory is not None else None
+            ),
+        )
+        for system_name in SYSTEMS
+    ]
+
+
+def execute_cell(cell: Cell) -> Dict[str, Any]:
+    """Worker body: build one system, run its LMbench sweep."""
+    from repro.tools.perf import count_accesses
+
+    spec = cell.spec
+    kwargs = {}
+    if cell.platform_config is not None:
+        kwargs["platform_config"] = cell.platform_config
+    if cell.environment == "hypernel":
+        kwargs["with_mbm"] = False  # paper 7.1: only Hypersec active
+    if cell.environment == "kvm-guest":
+        # Steady-state measurement: a long-running guest has its
+        # memory stage-2-mapped already (cold faults are boot noise).
+        kwargs["prepopulate_stage2"] = True
+    system = build_system(cell.environment, **kwargs)
+    suite = LmbenchSuite(
+        system, warmup=spec["warmup"], iterations=spec["iterations"]
+    )
+    suite.setup()
+    rows = {op: suite.run_op(op).microseconds for op in spec["ops"]}
+    return {
+        "rows": rows,
+        "accesses": count_accesses(system),
+        "sim_cycles": system.platform.clock.now,
+    }
+
+
 def run_table1(
     platform_factory: Optional[Callable[[], PlatformConfig]] = None,
     warmup: int = 4,
     iterations: int = 16,
     ops: Optional[List[str]] = None,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
 ) -> Table1Result:
     """Build each system, run the LMbench suite, collect Table 1."""
-    ops = ops or LMBENCH_OPS
+    ops = list(ops or LMBENCH_OPS)
+    cells = table1_cells(platform_factory, warmup, iterations, ops)
+    payloads = run_cells(cells, jobs=jobs, cache=cache)
     result = Table1Result(rows={op: {} for op in ops})
-    for system_name in SYSTEMS:
-        kwargs = {}
-        if platform_factory is not None:
-            kwargs["platform_config"] = platform_factory()
-        if system_name == "hypernel":
-            kwargs["with_mbm"] = False  # paper 7.1: only Hypersec active
-        if system_name == "kvm-guest":
-            # Steady-state measurement: a long-running guest has its
-            # memory stage-2-mapped already (cold faults are boot noise).
-            kwargs["prepopulate_stage2"] = True
-        system = build_system(system_name, **kwargs)
-        suite = LmbenchSuite(system, warmup=warmup, iterations=iterations)
-        suite.setup()
+    for cell, payload in zip(cells, payloads):
         for op in ops:
-            result.rows[op][system_name] = suite.run_op(op).microseconds
+            result.rows[op][cell.environment] = payload["rows"][op]
     return result

@@ -30,11 +30,32 @@ def _platform_config(args) -> PlatformConfig:
     )
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+def _add_platform(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dram-mb", type=int, default=192,
                         help="simulated DRAM size in MB (default 192)")
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    # Only registered for commands that actually consume it; ``table1``
+    # runs fixed LMbench op counts and takes no scale.
     parser.add_argument("--scale", type=float, default=0.25,
                         help="workload scale factor (default 0.25)")
+
+
+def _add_runner(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent experiment "
+                        "cells (default 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every cell, bypassing the "
+                        "content-addressed result cache")
+
+
+def _runner_kwargs(args):
+    from repro.tools.runner import CellCache, default_cache_dir
+
+    cache = None if args.no_cache else CellCache(default_cache_dir())
+    return {"jobs": args.jobs, "cache": cache}
 
 
 def cmd_info(args) -> int:
@@ -62,7 +83,9 @@ def cmd_info(args) -> int:
 def cmd_table1(args) -> int:
     from repro.analysis.tables import run_table1
 
-    result = run_table1(platform_factory=lambda: _platform_config(args))
+    result = run_table1(
+        platform_factory=lambda: _platform_config(args), **_runner_kwargs(args)
+    )
     print(result.format())
     return 0
 
@@ -71,7 +94,8 @@ def cmd_figure6(args) -> int:
     from repro.analysis.figures import run_figure6
 
     result = run_figure6(
-        scale=args.scale, platform_factory=lambda: _platform_config(args)
+        scale=args.scale, platform_factory=lambda: _platform_config(args),
+        **_runner_kwargs(args)
     )
     print(result.format())
     return 0
@@ -81,7 +105,8 @@ def cmd_table2(args) -> int:
     from repro.analysis.monitoring import run_table2
 
     result = run_table2(
-        scale=args.scale, platform_factory=lambda: _platform_config(args)
+        scale=args.scale, platform_factory=lambda: _platform_config(args),
+        **_runner_kwargs(args)
     )
     print(result.format())
     return 0
@@ -217,16 +242,16 @@ def _add_simspeed_args(parser: argparse.ArgumentParser) -> None:
                         help="allowed wall-clock slowdown vs baseline (default 0.20)")
 
 
-#: command name -> (handler, extra-argument installer or None).
+#: command name -> (handler, extra-argument installers).
 _COMMANDS = {
-    "info": (cmd_info, _add_common),
-    "table1": (cmd_table1, _add_common),
-    "figure6": (cmd_figure6, _add_common),
-    "table2": (cmd_table2, _add_common),
-    "attacks": (cmd_attacks, _add_common),
-    "audit": (cmd_audit, _add_common),
-    "report": (cmd_report, _add_common),
-    "bench-simspeed": (cmd_bench_simspeed, _add_simspeed_args),
+    "info": (cmd_info, [_add_platform]),
+    "table1": (cmd_table1, [_add_platform, _add_runner]),
+    "figure6": (cmd_figure6, [_add_platform, _add_scale, _add_runner]),
+    "table2": (cmd_table2, [_add_platform, _add_scale, _add_runner]),
+    "attacks": (cmd_attacks, [_add_platform]),
+    "audit": (cmd_audit, [_add_platform, _add_scale]),
+    "report": (cmd_report, [_add_platform, _add_scale]),
+    "bench-simspeed": (cmd_bench_simspeed, [_add_simspeed_args]),
 }
 
 
@@ -236,9 +261,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Hypernel (DAC 2018) reproduction harness",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    for name, (handler, add_args) in _COMMANDS.items():
+    for name, (handler, installers) in _COMMANDS.items():
         sub = subparsers.add_parser(name, help=handler.__doc__)
-        if add_args is not None:
+        for add_args in installers:
             add_args(sub)
         sub.set_defaults(handler=handler)
     args = parser.parse_args(argv)

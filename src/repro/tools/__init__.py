@@ -1,4 +1,4 @@
-"""Developer tooling: bus tracing, system reports and perf measurement."""
+"""Developer tooling: bus tracing, perf measurement, parallel runner."""
 
 from repro.tools.trace import BusTracer, TraceRecord
 from repro.tools.perf import (
@@ -9,13 +9,25 @@ from repro.tools.perf import (
     run_workload,
     write_report,
 )
+from repro.tools.runner import (
+    Cell,
+    CellCache,
+    RunnerError,
+    default_cache_dir,
+    run_cells,
+)
 
 __all__ = [
     "BusTracer",
+    "Cell",
+    "CellCache",
+    "RunnerError",
     "TraceRecord",
     "WorkloadSpeed",
     "compare_to_baseline",
+    "default_cache_dir",
     "format_report",
+    "run_cells",
     "run_simspeed",
     "run_workload",
     "write_report",

@@ -14,6 +14,12 @@ module measures engine throughput on three representative workloads:
 ``monitored_write_storm``
     Repeated uncached writes to a monitored word on a full Hypernel
     system — bus, snooper, MBM pipeline and ring-buffer stress.
+``table1_runner_serial`` / ``table1_runner_parallel``
+    A full Table 1 regeneration through :mod:`repro.tools.runner` at
+    ``jobs=1`` vs ``jobs=4`` (cache disabled) — the experiment-level
+    fan-out path.  Both must report identical simulated work; their
+    wall-clock ratio is the parallel speedup ``scripts/check_simspeed.py``
+    reports (and gates on hosts with >= 4 cores).
 
 Two kinds of numbers come out:
 
@@ -132,12 +138,50 @@ def _build_monitored_write_storm(
     return system, op
 
 
-#: name -> (builder, default iteration count)
+def _build_table1_runner(jobs: int) -> Callable:
+    """Aggregate workload: one full Table 1 regeneration via the runner.
+
+    Unlike the single-system workloads above, the work spans several
+    simulated machines (some in worker processes), so the builder
+    returns ``(None, op)`` where ``op`` itself reports the simulated
+    ``(accesses, sim_cycles)`` summed over every cell payload.
+    """
+
+    def build(config: PlatformConfig) -> Tuple[None, Callable[[], Tuple[int, int]]]:
+        import copy
+
+        from repro.analysis.tables import table1_cells
+        from repro.tools.runner import run_cells
+
+        def op() -> Tuple[int, int]:
+            cells = table1_cells(
+                platform_factory=lambda: copy.deepcopy(config)
+            )
+            payloads = run_cells(cells, jobs=jobs, cache=None)
+            return (
+                sum(p["accesses"] for p in payloads),
+                sum(p["sim_cycles"] for p in payloads),
+            )
+
+        return None, op
+
+    return build
+
+
+#: name -> (builder, default iteration count).  Builders return either
+#: ``(system, op)`` — accesses counted on the system — or ``(None, op)``
+#: with ``op`` returning its own ``(accesses, sim_cycles)`` tallies.
 WORKLOADS: Dict[str, Tuple[Callable, int]] = {
     "fork_execv": (_build_fork_execv, 100),
     "mmap_storm": (_build_mmap_storm, 250),
     "monitored_write_storm": (_build_monitored_write_storm, 3000),
+    "table1_runner_serial": (_build_table1_runner(1), 1),
+    "table1_runner_parallel": (_build_table1_runner(4), 1),
 }
+
+#: The workload pair whose wall-clock ratio is the runner speedup.
+RUNNER_SERIAL_WORKLOAD = "table1_runner_serial"
+RUNNER_PARALLEL_WORKLOAD = "table1_runner_parallel"
 
 
 # ----------------------------------------------------------------------
@@ -160,14 +204,24 @@ def run_workload(
     if iterations <= 0:
         raise ValueError(f"iterations must be positive, got {iterations}")
     system, op = builder(platform_config or default_platform_config())
-    accesses_before = count_accesses(system)
-    cycles_before = system.platform.clock.now
-    start = time.perf_counter()
-    for _ in range(iterations):
-        op()
-    wall = time.perf_counter() - start
-    accesses = count_accesses(system) - accesses_before
-    cycles = system.platform.clock.now - cycles_before
+    if system is None:
+        # Aggregate workload: op reports its own deterministic tallies.
+        accesses = cycles = 0
+        start = time.perf_counter()
+        for _ in range(iterations):
+            op_accesses, op_cycles = op()
+            accesses += op_accesses
+            cycles += op_cycles
+        wall = time.perf_counter() - start
+    else:
+        accesses_before = count_accesses(system)
+        cycles_before = system.platform.clock.now
+        start = time.perf_counter()
+        for _ in range(iterations):
+            op()
+        wall = time.perf_counter() - start
+        accesses = count_accesses(system) - accesses_before
+        cycles = system.platform.clock.now - cycles_before
     return WorkloadSpeed(
         workload=name,
         iterations=iterations,

@@ -1,0 +1,344 @@
+"""Parallel experiment runner: (environment × workload) cells.
+
+``run_table1``/``run_figure6``/``run_table2`` each iterate over
+independent *environments* (the three system configurations, or the two
+monitoring granularities), building a fresh simulated machine for each
+one.  The simulator is deterministic and seeded (DESIGN.md §5), so
+those iterations are embarrassingly parallel and their results are
+safely cacheable by input hash.  This module provides the shared
+machinery:
+
+:class:`Cell`
+    One independent unit of experiment work: an executor ``kind``, the
+    ``environment`` it builds (system name or granularity), a workload
+    label, a JSON-ish ``spec`` (op list, scale, warmup/iterations) and
+    an optional :class:`~repro.config.PlatformConfig`.  Cells must be
+    picklable; they are shipped whole to worker processes.
+
+:func:`run_cells`
+    Fans cells out over a ``ProcessPoolExecutor`` with a per-job
+    timeout, one retry on worker failure, and a graceful serial
+    fallback when ``jobs=1`` or a pool cannot be created.  Results come
+    back in cell order, so merging is deterministic and the merged
+    tables are byte-identical to the serial path.
+
+:class:`CellCache`
+    A content-addressed on-disk cache (default ``benchmarks/.cache/``).
+    Keys hash the cell parameters together with every
+    :class:`~repro.config.CostModel` and
+    :class:`~repro.kernel.kernel.OpCosts` constant and the package
+    version, so edits that can change cycle accounting invalidate
+    cached results automatically.
+
+The executor for a cell is resolved from :data:`KIND_EXECUTORS` by
+dotted path at execution time (in the worker process), which keeps this
+module import-light and works under both ``fork`` and ``spawn`` start
+methods.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import time
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import __version__
+from repro.config import PlatformConfig
+
+#: Cache-key schema version; bump when the key recipe or payload
+#: layout changes so stale entries can never be misread.
+CACHE_SCHEMA = 1
+
+#: Default per-job timeout (seconds).  Generous: a paper-scale cell is
+#: minutes of work; the timeout exists to surface a hung worker instead
+#: of stalling the pool forever.
+DEFAULT_TIMEOUT = 600.0
+
+#: cell kind -> "module:function" executed (in the worker) to run it.
+KIND_EXECUTORS: Dict[str, str] = {
+    "table1": "repro.analysis.tables:execute_cell",
+    "figure6": "repro.analysis.figures:execute_cell",
+    "table2": "repro.analysis.monitoring:execute_cell",
+    # Test-only workload used by the runner's own test suite: echoes,
+    # fails, fails-once (marker file) or sleeps on demand.
+    "selftest": "repro.tools.runner:execute_selftest_cell",
+}
+
+
+class RunnerError(RuntimeError):
+    """A cell could not be executed (after its retry) or timed out."""
+
+    def __init__(self, message: str, cell: Optional["Cell"] = None):
+        super().__init__(message)
+        self.cell = cell
+
+
+@dataclass
+class Cell:
+    """One independent experiment job.
+
+    ``spec`` should stay JSON-serializable for the cell to be cacheable;
+    non-JSON values (e.g. caller-supplied workload objects) are allowed
+    but silently make the cell uncacheable.
+    """
+
+    kind: str
+    environment: str
+    workload: str
+    spec: Dict[str, Any] = field(default_factory=dict)
+    platform_config: Optional[PlatformConfig] = None
+    cacheable: bool = True
+
+    def label(self) -> str:
+        return f"{self.kind}:{self.environment}:{self.workload}"
+
+
+# ----------------------------------------------------------------------
+# Cell execution
+# ----------------------------------------------------------------------
+def _resolve_executor(kind: str) -> Callable[[Cell], Dict[str, Any]]:
+    try:
+        target = KIND_EXECUTORS[kind]
+    except KeyError:
+        raise RunnerError(
+            f"unknown cell kind {kind!r}; choose from {sorted(KIND_EXECUTORS)}"
+        ) from None
+    module_name, _, func_name = target.partition(":")
+    return getattr(import_module(module_name), func_name)
+
+
+def execute_cell(cell: Cell) -> Dict[str, Any]:
+    """Run one cell to completion and return its payload dict.
+
+    This is the function shipped to worker processes; it must stay
+    module-level (picklable by qualified name).
+    """
+    return _resolve_executor(cell.kind)(cell)
+
+
+def execute_selftest_cell(cell: Cell) -> Dict[str, Any]:
+    """Executor for the test-only ``selftest`` kind."""
+    mode = cell.spec.get("mode", "echo")
+    if mode == "echo":
+        return {"value": cell.spec.get("value"), "accesses": 0, "sim_cycles": 0}
+    if mode == "fail":
+        raise RuntimeError(f"injected failure for {cell.label()}")
+    if mode == "fail_until_marker":
+        marker = pathlib.Path(cell.spec["marker"])
+        if not marker.exists():
+            marker.write_text("first attempt failed\n")
+            raise RuntimeError(f"injected first-attempt failure for {cell.label()}")
+        return {"value": "ok after retry", "accesses": 0, "sim_cycles": 0}
+    if mode == "sleep":
+        time.sleep(float(cell.spec.get("seconds", 1.0)))
+        return {"value": "slept", "accesses": 0, "sim_cycles": 0}
+    raise RunnerError(f"unknown selftest mode {mode!r}", cell)
+
+
+# ----------------------------------------------------------------------
+# Content-addressed result cache
+# ----------------------------------------------------------------------
+def default_cache_dir() -> pathlib.Path:
+    """``REPRO_CACHE_DIR`` or ``benchmarks/.cache`` under the cwd."""
+    return pathlib.Path(os.environ.get("REPRO_CACHE_DIR", "benchmarks/.cache"))
+
+
+def cost_fingerprint(platform_config: Optional[PlatformConfig]) -> Dict[str, Any]:
+    """Every constant that can change cycle accounting.
+
+    The platform config embeds its :class:`CostModel`; kernel base
+    compute costs come from :class:`OpCosts` defaults (cells always
+    build kernels with the default :class:`KernelConfig`).
+    """
+    from repro.kernel.kernel import OpCosts
+
+    config = platform_config if platform_config is not None else PlatformConfig()
+    return {
+        "platform": dataclasses.asdict(config),
+        "op_costs": dataclasses.asdict(OpCosts()),
+    }
+
+
+def cache_key(cell: Cell) -> Optional[str]:
+    """Content hash for a cell, or ``None`` if it cannot be cached."""
+    if not cell.cacheable:
+        return None
+    document = {
+        "schema": CACHE_SCHEMA,
+        "version": __version__,
+        "kind": cell.kind,
+        "environment": cell.environment,
+        "workload": cell.workload,
+        "spec": cell.spec,
+        "costs": cost_fingerprint(cell.platform_config),
+    }
+    try:
+        blob = json.dumps(document, sort_keys=True)
+    except (TypeError, ValueError):
+        return None  # non-JSON spec (e.g. injected workload objects)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class CellCache:
+    """On-disk JSON store of cell payloads, one file per content hash."""
+
+    def __init__(self, directory: os.PathLike | str):
+        self.directory = pathlib.Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.json"
+
+    def lookup(self, cell: Cell) -> Optional[Dict[str, Any]]:
+        key = cache_key(cell)
+        if key is None:
+            return None
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            self.misses += 1
+            return None
+        if entry.get("schema") != CACHE_SCHEMA or "payload" not in entry:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def store(self, cell: Cell, payload: Dict[str, Any]) -> bool:
+        key = cache_key(cell)
+        if key is None:
+            return False
+        try:
+            blob = json.dumps(
+                {"schema": CACHE_SCHEMA, "cell": cell.label(), "payload": payload},
+                indent=2,
+            )
+        except (TypeError, ValueError):
+            return False  # non-JSON payload: skip caching, don't fail the run
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self._path(key).with_suffix(".tmp")
+        tmp.write_text(blob + "\n")
+        tmp.replace(self._path(key))  # atomic: a reader never sees half a file
+        self.stores += 1
+        return True
+
+
+# ----------------------------------------------------------------------
+# Fan-out
+# ----------------------------------------------------------------------
+def _default_executor_factory(jobs: int):
+    from concurrent.futures import ProcessPoolExecutor
+
+    return ProcessPoolExecutor(max_workers=jobs)
+
+
+def _run_serial(cell: Cell) -> Dict[str, Any]:
+    """Execute in-process with the same one-retry policy as the pool."""
+    try:
+        return execute_cell(cell)
+    except RunnerError:
+        raise
+    except Exception as first:
+        try:
+            return execute_cell(cell)
+        except Exception as second:
+            raise RunnerError(
+                f"cell {cell.label()} failed after retry: {second!r} "
+                f"(first attempt: {first!r})",
+                cell,
+            ) from second
+
+
+def run_cells(
+    cells: List[Cell],
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+    timeout: Optional[float] = DEFAULT_TIMEOUT,
+    executor_factory: Optional[Callable[[int], Any]] = None,
+) -> List[Dict[str, Any]]:
+    """Execute every cell and return payloads in cell order.
+
+    * ``jobs > 1`` fans uncached cells out over a process pool
+      (``executor_factory(jobs)``, default ``ProcessPoolExecutor``);
+      ``jobs=1`` — or a pool that cannot be created — runs them
+      serially in-process.  Either way the per-cell code path is
+      identical, so merged results are byte-identical.
+    * A cell whose worker raises (or whose pool breaks) is retried once
+      in-process; a second failure raises :class:`RunnerError` naming
+      the cell.  A job exceeding ``timeout`` seconds raises
+      :class:`RunnerError` immediately — a hung worker cannot be
+      retried without leaking the pool.
+    * With a ``cache``, cacheable cells are looked up first and
+      computed payloads are stored back; a fully warm cache dispatches
+      zero jobs (``executor_factory`` is never called).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+    pending: List[int] = []
+    for index, cell in enumerate(cells):
+        payload = cache.lookup(cell) if cache is not None else None
+        if payload is not None:
+            results[index] = payload
+        else:
+            pending.append(index)
+
+    if pending:
+        pool = None
+        if jobs > 1 and len(pending) > 1:
+            factory = executor_factory or _default_executor_factory
+            try:
+                pool = factory(min(jobs, len(pending)))
+            except (ImportError, NotImplementedError, OSError, PermissionError):
+                pool = None  # e.g. sandboxed host without fork: fall back
+        if pool is None:
+            for index in pending:
+                results[index] = _run_serial(cells[index])
+        else:
+            futures = [(index, pool.submit(execute_cell, cells[index]))
+                       for index in pending]
+            try:
+                for index, future in futures:
+                    cell = cells[index]
+                    try:
+                        results[index] = future.result(timeout=timeout)
+                    except _FutureTimeout:
+                        raise RunnerError(
+                            f"cell {cell.label()} timed out after {timeout:.0f}s",
+                            cell,
+                        ) from None
+                    except RunnerError:
+                        raise
+                    except Exception as first:
+                        # One retry, in-process: also covers a crashed
+                        # worker (BrokenProcessPool) without re-raising
+                        # into a possibly-broken pool.
+                        try:
+                            results[index] = execute_cell(cell)
+                        except Exception as second:
+                            raise RunnerError(
+                                f"cell {cell.label()} failed after retry: "
+                                f"{second!r} (first attempt: {first!r})",
+                                cell,
+                            ) from second
+            except BaseException:
+                # Don't wait on stuck/remaining workers; just detach.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            pool.shutdown(wait=True)
+        if cache is not None:
+            for index in pending:
+                cache.store(cells[index], results[index])
+
+    return results  # type: ignore[return-value]

@@ -4,32 +4,62 @@ import pytest
 
 from repro.cli import main
 
-FAST = ["--dram-mb", "64", "--scale", "0.02"]
+PLATFORM = ["--dram-mb", "64"]
+SCALED = [*PLATFORM, "--scale", "0.02"]
 
 
 class TestCli:
     def test_info(self, capsys):
-        assert main(["info", *FAST]) == 0
+        assert main(["info", *PLATFORM]) == 0
         out = capsys.readouterr().out
         assert "hypernel" in out
         assert "stage2" in out
 
     def test_table2(self, capsys):
-        assert main(["table2", *FAST]) == 0
+        assert main(["table2", *SCALED, "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "word-granularity" in out
         assert "overall word/page ratio" in out
 
+    def test_table2_parallel_jobs(self, capsys):
+        assert main(["table2", *SCALED, "--no-cache", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "overall word/page ratio" in out
+
+    def test_table2_cache_round_trip(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["table2", *SCALED]) == 0
+        cold = capsys.readouterr().out
+        assert list(tmp_path.glob("*.json")), "cold run must populate the cache"
+        assert main(["table2", *SCALED]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
     def test_attacks(self, capsys):
-        assert main(["attacks", *FAST]) == 0
+        assert main(["attacks", *PLATFORM]) == 0
         out = capsys.readouterr().out
         assert "SILENT SUCCESS" in out   # native section
         assert "BLOCKED" in out          # hypernel section
 
     def test_audit(self, capsys):
-        assert main(["audit", *FAST]) == 0
+        assert main(["audit", *SCALED]) == 0
         out = capsys.readouterr().out
         assert "audit clean" in out
+
+    def test_table1_rejects_scale(self, capsys):
+        # table1 runs fixed LMbench op counts; it must not silently
+        # accept (and drop) a workload scale factor.
+        with pytest.raises(SystemExit):
+            main(["table1", *PLATFORM, "--scale", "0.02"])
+        assert "--scale" in capsys.readouterr().err
+
+    def test_table1_advertises_runner_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--jobs" in out
+        assert "--no-cache" in out
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

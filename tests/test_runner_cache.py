@@ -1,0 +1,162 @@
+"""Cache-key invalidation for the content-addressed result cache.
+
+The key recipe (DESIGN.md §5b) hashes the cell parameters together with
+every ``CostModel``/``OpCosts`` constant and the package version:
+anything that can change cycle accounting must miss; an unchanged rerun
+must hit without dispatching any work.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import CostModel, PlatformConfig
+from repro.tools.runner import (
+    CACHE_SCHEMA,
+    Cell,
+    CellCache,
+    cache_key,
+    run_cells,
+)
+
+
+def small_config(**cost_overrides):
+    costs = CostModel(**cost_overrides)
+    return PlatformConfig(
+        dram_bytes=64 * 1024 * 1024,
+        secure_bytes=8 * 1024 * 1024,
+        costs=costs,
+    )
+
+
+def echo_cell(value="x", config=None, **spec_extra):
+    return Cell(
+        kind="selftest",
+        environment="test",
+        workload="echo",
+        spec={"mode": "echo", "value": value, **spec_extra},
+        platform_config=config,
+    )
+
+
+class TestCacheKey:
+    def test_same_inputs_same_key(self):
+        assert cache_key(echo_cell(config=small_config())) == cache_key(
+            echo_cell(config=small_config())
+        )
+
+    def test_cost_model_constant_perturbation_changes_key(self):
+        base = cache_key(echo_cell(config=small_config()))
+        perturbed = cache_key(echo_cell(config=small_config(l1_hit=5)))
+        assert base != perturbed
+
+    def test_spec_scale_perturbation_changes_key(self):
+        base = cache_key(echo_cell(scale=0.25))
+        assert cache_key(echo_cell(scale=0.5)) != base
+
+    def test_environment_and_kind_distinguish_cells(self):
+        cell = echo_cell()
+        other_env = dataclasses.replace(cell, environment="other")
+        other_kind = dataclasses.replace(cell, kind="table1")
+        assert cache_key(cell) != cache_key(other_env)
+        assert cache_key(cell) != cache_key(other_kind)
+
+    def test_uncacheable_cell_has_no_key(self):
+        assert cache_key(dataclasses.replace(echo_cell(), cacheable=False)) is None
+
+    def test_non_json_spec_has_no_key(self):
+        assert cache_key(echo_cell(apps=[object()])) is None
+
+
+class _CountingExecutor:
+    """Executor stub: counts dispatches, runs cells in-process."""
+
+    def __init__(self):
+        self.submissions = 0
+
+    def __call__(self, jobs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, *args):
+        self.submissions += 1
+        from concurrent.futures import Future
+
+        future = Future()
+        try:
+            future.set_result(fn(*args))
+        except Exception as exc:  # pragma: no cover - failure paths
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestCacheBehaviour:
+    def test_unchanged_rerun_hits_with_zero_dispatches(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cells = [echo_cell(value=i, config=small_config()) for i in range(3)]
+
+        first = _CountingExecutor()
+        cold = run_cells(cells, jobs=2, cache=cache, executor_factory=first)
+        assert first.submissions == 3
+        assert cache.stores == 3
+
+        second = _CountingExecutor()
+        warm = run_cells(cells, jobs=2, cache=cache, executor_factory=second)
+        assert second.submissions == 0, "warm cache must dispatch nothing"
+        assert cache.hits == 3
+        assert warm == cold
+
+    def test_cost_constant_perturbation_misses(self, tmp_path):
+        cache = CellCache(tmp_path)
+        run_cells([echo_cell(config=small_config())], cache=cache)
+        executor = _CountingExecutor()
+        run_cells(
+            [echo_cell(config=small_config(dram_row_hit=71)),
+             echo_cell(config=small_config())],
+            jobs=2,
+            cache=cache,
+            executor_factory=executor,
+        )
+        # Perturbed cell recomputed; unchanged cell answered from cache.
+        assert executor.submissions == 0  # single pending cell runs serially
+        assert cache.hits == 1
+
+    def test_scale_perturbation_misses(self, tmp_path):
+        cache = CellCache(tmp_path)
+        run_cells([echo_cell(scale=0.25)], cache=cache)
+        assert cache.lookup(echo_cell(scale=0.5)) is None
+        assert cache.lookup(echo_cell(scale=0.25)) is not None
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cell = echo_cell()
+        run_cells([cell], cache=cache)
+        path = cache._path(cache_key(cell))
+        path.write_text("{not json")
+        assert cache.lookup(cell) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cell = echo_cell()
+        run_cells([cell], cache=cache)
+        path = cache._path(cache_key(cell))
+        entry = json.loads(path.read_text())
+        entry["schema"] = CACHE_SCHEMA + 1
+        path.write_text(json.dumps(entry))
+        assert cache.lookup(cell) is None
+
+    def test_uncacheable_cell_always_recomputes(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cell = dataclasses.replace(echo_cell(), cacheable=False)
+        run_cells([cell], cache=cache)
+        assert cache.stores == 0
+        assert cache.lookup(cell) is None

@@ -1,0 +1,104 @@
+"""Parallel/serial equivalence of the experiment runner.
+
+The contract (ISSUE 2, DESIGN.md §5b): fanning cells out over worker
+processes — or answering them from the content-addressed cache — must
+produce *byte-identical* formatted results to the serial path.
+"""
+
+import pytest
+
+from repro.analysis.figures import run_figure6
+from repro.analysis.monitoring import run_table2
+from repro.analysis.tables import run_table1
+from repro.config import PlatformConfig
+from repro.tools.runner import CellCache
+
+#: Reduced op set: keeps the three-systems sweep fast while still
+#: covering a syscall path, a signal path and a page-table-heavy path.
+REDUCED_OPS = ["syscall stat", "signal install", "mmap"]
+
+
+def small_platform_config():
+    return PlatformConfig(
+        dram_bytes=64 * 1024 * 1024, secure_bytes=8 * 1024 * 1024
+    )
+
+
+def _table1(**kwargs):
+    return run_table1(
+        platform_factory=small_platform_config,
+        warmup=2,
+        iterations=4,
+        ops=REDUCED_OPS,
+        **kwargs,
+    )
+
+
+class TestParallelEquivalence:
+    def test_table1_jobs4_matches_jobs1_byte_identically(self):
+        serial = _table1(jobs=1)
+        parallel = _table1(jobs=4)
+        assert parallel.rows == serial.rows
+        assert parallel.format() == serial.format()
+        assert parallel.format(include_paper=False) == serial.format(
+            include_paper=False
+        )
+
+    def test_figure6_parallel_matches_serial(self):
+        serial = run_figure6(
+            scale=0.02, platform_factory=small_platform_config, jobs=1
+        )
+        parallel = run_figure6(
+            scale=0.02, platform_factory=small_platform_config, jobs=3
+        )
+        assert parallel.raw_us == serial.raw_us
+        assert parallel.normalized == serial.normalized
+        assert parallel.format() == serial.format()
+
+    def test_table2_parallel_matches_serial(self):
+        serial = run_table2(
+            scale=0.02, platform_factory=small_platform_config, jobs=1
+        )
+        parallel = run_table2(
+            scale=0.02, platform_factory=small_platform_config, jobs=2
+        )
+        assert parallel.counts == serial.counts
+        assert parallel.format() == serial.format()
+
+
+class TestCacheEquivalence:
+    def test_cache_hit_returns_identical_result_contents(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cold = _table1(jobs=1, cache=cache)
+        assert cache.stores == 3 and cache.hits == 0
+
+        warm = _table1(jobs=1, cache=cache)
+        assert cache.hits == 3
+        assert warm.rows == cold.rows
+        assert warm.format() == cold.format()
+
+    def test_warm_cache_parallel_run_dispatches_nothing(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cold = _table1(jobs=1, cache=cache)
+
+        def exploding_factory(jobs):  # pragma: no cover - must not run
+            raise AssertionError("warm cache must not create a pool")
+
+        # jobs=4 with a fully warm cache: the executor factory (and any
+        # in-process execution) is never reached.
+        from repro.analysis.tables import table1_cells
+        from repro.tools.runner import run_cells
+
+        cells = table1_cells(
+            platform_factory=small_platform_config,
+            warmup=2,
+            iterations=4,
+            ops=REDUCED_OPS,
+        )
+        payloads = run_cells(
+            cells, jobs=4, cache=cache, executor_factory=exploding_factory
+        )
+        assert [p["rows"] for p in payloads] == [
+            {op: cold.rows[op][cell.environment] for op in REDUCED_OPS}
+            for cell in cells
+        ]

@@ -1,0 +1,79 @@
+"""Worker-failure handling: retry once, then fail loudly naming the cell.
+
+Fault injection uses the runner's test-only ``selftest`` cell kind,
+whose ``fail_until_marker`` mode fails on the first attempt (dropping a
+marker file) and succeeds on the retry — observable across processes.
+"""
+
+import pytest
+
+from repro.tools.runner import Cell, RunnerError, run_cells
+
+
+def fail_once_cell(tmp_path, name="flaky"):
+    return Cell(
+        kind="selftest",
+        environment=name,
+        workload="fault-injection",
+        spec={"mode": "fail_until_marker", "marker": str(tmp_path / f"{name}.marker")},
+        cacheable=False,
+    )
+
+
+def always_fail_cell(name="doomed"):
+    return Cell(
+        kind="selftest",
+        environment=name,
+        workload="fault-injection",
+        spec={"mode": "fail"},
+        cacheable=False,
+    )
+
+
+class TestSerialFailures:
+    def test_transient_failure_is_retried_once(self, tmp_path):
+        cell = fail_once_cell(tmp_path)
+        [payload] = run_cells([cell], jobs=1)
+        assert payload["value"] == "ok after retry"
+        assert (tmp_path / "flaky.marker").exists()
+
+    def test_persistent_failure_raises_runner_error_naming_cell(self):
+        cell = always_fail_cell()
+        with pytest.raises(RunnerError, match=r"selftest:doomed:fault-injection"):
+            run_cells([cell], jobs=1)
+
+    def test_runner_error_carries_the_cell(self):
+        cell = always_fail_cell()
+        with pytest.raises(RunnerError) as excinfo:
+            run_cells([cell], jobs=1)
+        assert excinfo.value.cell is cell
+        assert excinfo.value.__cause__ is not None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(RunnerError, match="unknown cell kind"):
+            run_cells([Cell(kind="nope", environment="x", workload="y")])
+
+
+class TestPoolFailures:
+    def test_transient_worker_failure_is_retried_once(self, tmp_path):
+        cells = [fail_once_cell(tmp_path, "a"), fail_once_cell(tmp_path, "b")]
+        payloads = run_cells(cells, jobs=2)
+        assert [p["value"] for p in payloads] == ["ok after retry"] * 2
+
+    def test_persistent_worker_failure_surfaces_instead_of_hanging(self):
+        cells = [always_fail_cell("one"), always_fail_cell("two")]
+        with pytest.raises(RunnerError, match=r"selftest:one:fault-injection"):
+            run_cells(cells, jobs=2)
+
+    def test_timeout_raises_runner_error_naming_cell(self):
+        cells = [
+            Cell(kind="selftest", environment=f"sleepy{i}", workload="nap",
+                 spec={"mode": "sleep", "seconds": 2.0}, cacheable=False)
+            for i in range(2)
+        ]
+        with pytest.raises(RunnerError, match=r"selftest:sleepy0:nap.*timed out"):
+            run_cells(cells, jobs=2, timeout=0.2)
+
+    def test_nonpositive_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_cells([], jobs=0)

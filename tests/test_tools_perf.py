@@ -63,6 +63,25 @@ class TestRunWorkload:
         assert runs[0].sim_cycles == runs[1].sim_cycles
 
 
+class TestAggregateWorkloads:
+    """Workloads whose builder returns ``(None, op)`` tally themselves."""
+
+    def test_runner_workloads_registered(self):
+        assert perf.RUNNER_SERIAL_WORKLOAD in perf.WORKLOADS
+        assert perf.RUNNER_PARALLEL_WORKLOAD in perf.WORKLOADS
+
+    def test_aggregate_accounting_sums_op_tallies(self, monkeypatch):
+        def build_stub(config):
+            return None, lambda: (100, 2000)
+
+        monkeypatch.setitem(perf.WORKLOADS, "stub_aggregate", (build_stub, 1))
+        result = perf.run_workload("stub_aggregate", iterations=3)
+        assert result.accesses == 300
+        assert result.sim_cycles == 6000
+        assert result.iterations == 3
+        assert result.accesses_per_sec > 0
+
+
 class TestReporting:
     def _result(self, **overrides):
         fields = dict(
