@@ -15,6 +15,8 @@ machine sensitive); the determinism assertions, however, are exact.
 """
 
 import pathlib
+import tempfile
+import time
 
 import pytest
 
@@ -41,3 +43,44 @@ def test_simspeed_vs_baseline():
         perf.report_as_dict(results), baseline
     )
     assert not failures, "\n".join(failures)
+
+
+def test_snapshot_roundtrip_speed():
+    """Wall-clock cost of save/restore, plus the exact replay contract.
+
+    The timings are informational (machine sensitive); the assertions —
+    a restored machine replays a workload cycle-for-cycle against the
+    one it was captured from — are exact.
+    """
+    from repro.core.hypernel import build_system
+    from repro.state import restore_system, save_snapshot
+    from repro.workloads.lmbench import LmbenchSuite
+
+    lines = []
+    with tempfile.TemporaryDirectory(prefix="repro-snapbench-") as tmp:
+        for name, kwargs in [
+            ("native", {}),
+            ("hypernel", {"with_mbm": False}),
+        ]:
+            path = pathlib.Path(tmp) / f"{name}.snap"
+            cold = build_system(name, **kwargs)
+            start = time.perf_counter()
+            save_snapshot(cold, path)
+            save_s = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = restore_system(path)
+            restore_s = time.perf_counter() - start
+            for system in (cold, warm):
+                suite = LmbenchSuite(system, warmup=1, iterations=2)
+                suite.setup()
+                suite.run_op("fork+execv")
+            assert warm.platform.clock.now == cold.platform.clock.now
+            assert perf.count_accesses(warm) == perf.count_accesses(cold)
+            lines.append(
+                f"{name:10s} save {save_s:6.3f}s  restore {restore_s:6.3f}s "
+                f"({path.stat().st_size >> 10} KB on disk)"
+            )
+    text = "\n".join(lines)
+    path = save_result("simspeed_snapshot", text)
+    print("\n" + text)
+    print(f"[saved to {path}]")

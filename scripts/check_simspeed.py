@@ -17,7 +17,13 @@ it against the committed baseline ``BENCH_simspeed.json``:
   not change simulated behaviour), and on hosts with >= 4 cores the
   parallel run must be at least ``--min-parallel-speedup`` (default
   2.0x, env ``REPRO_MIN_PARALLEL_SPEEDUP``) faster than the serial
-  run.  On smaller hosts the speedup is reported but not gated.
+  run.  On smaller hosts the speedup is reported but not gated;
+* verifies the warm-start entry: ``table1_runner_warmstart`` (cells
+  restored from shared post-boot snapshots, see ``repro.state``) must
+  report simulated accesses/sim_cycles *identical* to
+  ``table1_runner_serial`` — restore-then-run equals boot-then-run —
+  and the boot-time saving vs the serial run is reported (wall clock,
+  machine sensitive, so informational only).
 
 Usage::
 
@@ -81,6 +87,34 @@ def runner_failures(current: dict, baseline: dict,
     return failures
 
 
+def warmstart_failures(current: dict, baseline: dict) -> list:
+    """Check the warm-start runner entry (see module docstring)."""
+    failures = []
+    warm_name = perf.RUNNER_WARMSTART_WORKLOAD
+    if warm_name not in baseline.get("workloads", {}):
+        failures.append(
+            f"{warm_name}: missing from the baseline — re-run with --update"
+        )
+    current_workloads = current.get("workloads", {})
+    serial = current_workloads.get(perf.RUNNER_SERIAL_WORKLOAD)
+    warm = current_workloads.get(warm_name)
+    if not serial or not warm:
+        return failures
+    for field in ("accesses", "sim_cycles"):
+        if serial[field] != warm[field]:
+            failures.append(
+                f"warm-start runner changed simulated {field} vs cold boot "
+                f"({serial[field]} vs {warm[field]}) — restore-then-run "
+                f"must be bit-identical to boot-then-run"
+            )
+    if serial["wall_seconds"] > 0 and warm["wall_seconds"] > 0:
+        saving = 1.0 - warm["wall_seconds"] / serial["wall_seconds"]
+        print(f"warm-start table1 runner boot-time saving: {saving:+.0%} "
+              f"({serial['wall_seconds']:.2f}s cold -> "
+              f"{warm['wall_seconds']:.2f}s warm)")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
@@ -123,6 +157,7 @@ def main(argv=None) -> int:
                                         tolerance=args.tolerance)
     failures += runner_failures(current, baseline,
                                 min_speedup=args.min_parallel_speedup)
+    failures += warmstart_failures(current, baseline)
     for failure in failures:
         print(f"FAIL: {failure}")
     if failures:

@@ -15,7 +15,7 @@ from repro.config import PlatformConfig
 from repro.core.hypernel import build_system
 from repro.analysis import paper
 from repro.analysis.compare import arithmetic_mean, format_table
-from repro.tools.runner import Cell, CellCache, run_cells
+from repro.tools.runner import Cell, CellCache, attach_boot_snapshots, run_cells
 from repro.workloads.apps import ApplicationWorkload, default_applications
 
 SYSTEMS = ["native", "kvm-guest", "hypernel"]
@@ -91,6 +91,26 @@ def figure6_cells(
     ]
 
 
+def cell_build_args(cell: Cell) -> tuple:
+    """``(system_name, build_kwargs)`` for this cell's environment."""
+    kwargs: Dict[str, Any] = {}
+    if cell.environment == "hypernel":
+        kwargs["with_mbm"] = False  # paper 7.1: only Hypersec active
+    if cell.environment == "kvm-guest":
+        kwargs["prepopulate_stage2"] = True  # steady-state guest
+    return cell.environment, kwargs
+
+
+def cell_system(cell: Cell):
+    """Boot the cell's system — or restore its warm-start snapshot."""
+    name, kwargs = cell_build_args(cell)
+    if cell.snapshot_path:
+        return build_system(name, from_snapshot=cell.snapshot_path)
+    if cell.platform_config is not None:
+        kwargs["platform_config"] = cell.platform_config
+    return build_system(name, **kwargs)
+
+
 def execute_cell(cell: Cell) -> Dict[str, Any]:
     """Worker body: build one system, run every application on it."""
     from repro.tools.perf import count_accesses
@@ -98,14 +118,7 @@ def execute_cell(cell: Cell) -> Dict[str, Any]:
     apps = cell.spec.get("apps")
     if apps is None:
         apps = default_applications(cell.spec["scale"])
-    kwargs = {}
-    if cell.platform_config is not None:
-        kwargs["platform_config"] = cell.platform_config
-    if cell.environment == "hypernel":
-        kwargs["with_mbm"] = False  # paper 7.1: only Hypersec active
-    if cell.environment == "kvm-guest":
-        kwargs["prepopulate_stage2"] = True  # steady-state guest
-    system = build_system(cell.environment, **kwargs)
+    system = cell_system(cell)
     shell = system.spawn_init()
     raw_us: Dict[str, float] = {}
     for app in apps:
@@ -125,10 +138,19 @@ def run_figure6(
     apps: Optional[List[ApplicationWorkload]] = None,
     jobs: int = 1,
     cache: Optional[CellCache] = None,
+    warm_start: bool = False,
 ) -> Figure6Result:
-    """Run each application on each system; normalize to native."""
+    """Run each application on each system; normalize to native.
+
+    ``warm_start`` restores each cell's system from a shared post-boot
+    snapshot instead of booting it (see repro.state).
+    """
     result = Figure6Result()
     cells = figure6_cells(scale, platform_factory, apps)
+    if warm_start:
+        attach_boot_snapshots(
+            cells, cache_dir=cache.directory if cache is not None else None
+        )
     payloads = run_cells(cells, jobs=jobs, cache=cache)
     for cell, payload in zip(cells, payloads):
         for app_name, microseconds in payload["raw_us"].items():

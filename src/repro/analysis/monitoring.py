@@ -16,13 +16,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.config import PlatformConfig
-from repro.core.hypernel import build_hypernel
+from repro.core.hypernel import build_hypernel, build_system
 from repro.analysis import paper
 from repro.analysis.compare import format_table
 from repro.security.baseline_page import WholeObjectMonitor
 from repro.security.cred_monitor import CredIntegrityMonitor
 from repro.security.dentry_monitor import DentryIntegrityMonitor
-from repro.tools.runner import Cell, CellCache, run_cells
+from repro.tools.runner import Cell, CellCache, attach_boot_snapshots, run_cells
 from repro.workloads.apps import ApplicationWorkload, default_applications
 
 GRANULARITIES = ["page", "word"]
@@ -106,6 +106,26 @@ def table2_cells(
     ]
 
 
+def cell_build_args(cell: Cell) -> tuple:
+    """``(system_name, build_kwargs)`` for this cell's granularity."""
+    monitors = (
+        _page_granularity_monitors()
+        if cell.environment == "page"
+        else _word_granularity_monitors()
+    )
+    return "hypernel", {"with_mbm": True, "monitors": monitors}
+
+
+def cell_system(cell: Cell):
+    """Boot the cell's monitored system — or restore its snapshot."""
+    name, kwargs = cell_build_args(cell)
+    if cell.snapshot_path:
+        return build_system(name, from_snapshot=cell.snapshot_path)
+    if cell.platform_config is not None:
+        kwargs["platform_config"] = cell.platform_config
+    return build_hypernel(**kwargs)
+
+
 def execute_cell(cell: Cell) -> Dict[str, Any]:
     """Worker body: one monitored Hypernel system, all applications."""
     from repro.tools.perf import count_accesses
@@ -113,15 +133,7 @@ def execute_cell(cell: Cell) -> Dict[str, Any]:
     apps = cell.spec.get("apps")
     if apps is None:
         apps = default_applications(cell.spec["scale"])
-    monitors = (
-        _page_granularity_monitors()
-        if cell.environment == "page"
-        else _word_granularity_monitors()
-    )
-    kwargs = {}
-    if cell.platform_config is not None:
-        kwargs["platform_config"] = cell.platform_config
-    system = build_hypernel(with_mbm=True, monitors=monitors, **kwargs)
+    system = cell_system(cell)
     shell = system.spawn_init()
     counts: Dict[str, int] = {}
     for app in apps:
@@ -142,10 +154,19 @@ def run_table2(
     apps: Optional[List[ApplicationWorkload]] = None,
     jobs: int = 1,
     cache: Optional[CellCache] = None,
+    warm_start: bool = False,
 ) -> Table2Result:
-    """Run the five applications under both monitoring configurations."""
+    """Run the five applications under both monitoring configurations.
+
+    ``warm_start`` restores each granularity's monitored system from a
+    shared post-boot snapshot instead of booting it (see repro.state).
+    """
     result = Table2Result(scale=scale)
     cells = table2_cells(scale, platform_factory, apps)
+    if warm_start:
+        attach_boot_snapshots(
+            cells, cache_dir=cache.directory if cache is not None else None
+        )
     payloads = run_cells(cells, jobs=jobs, cache=cache)
     for cell, payload in zip(cells, payloads):
         for app_name, delta in payload["counts"].items():

@@ -21,6 +21,7 @@ from repro.analysis import paper
 from repro.analysis.figures import run_figure6
 from repro.analysis.monitoring import run_table2
 from repro.analysis.tables import run_table1
+from repro.tools.runner import CellCache
 from repro.workloads.lmbench import LMBENCH_OPS
 
 
@@ -86,12 +87,21 @@ def generate_report(
     scale: float = 0.25,
     platform_factory: Optional[Callable[[], PlatformConfig]] = None,
     include_attacks: bool = True,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+    warm_start: bool = False,
 ) -> str:
-    """Run the full evaluation and return it as a markdown document."""
+    """Run the full evaluation and return it as a markdown document.
+
+    ``jobs``, ``cache`` and ``warm_start`` are forwarded to the three
+    cell-based experiment runners (the attack matrix stays in-process:
+    its scenarios share mutable victim systems).
+    """
     if platform_factory is None:
         platform_factory = lambda: PlatformConfig(  # noqa: E731
             dram_bytes=192 * 1024 * 1024, secure_bytes=24 * 1024 * 1024
         )
+    runner_kwargs = {"jobs": jobs, "cache": cache, "warm_start": warm_start}
     lines: List[str] = [
         "# Hypernel reproduction — evaluation report",
         "",
@@ -103,7 +113,7 @@ def generate_report(
         "| test | native | kvm-guest | hypernel | paper native | paper kvm | paper hypernel |",
         "|---|---|---|---|---|---|---|",
     ]
-    table1 = run_table1(platform_factory=platform_factory)
+    table1 = run_table1(platform_factory=platform_factory, **runner_kwargs)
     for op in LMBENCH_OPS:
         row = table1.rows[op]
         p = paper.TABLE1[op]
@@ -125,7 +135,8 @@ def generate_report(
         "| benchmark | kvm-guest | hypernel |",
         "|---|---|---|",
     ]
-    fig6 = run_figure6(scale=scale, platform_factory=platform_factory)
+    fig6 = run_figure6(scale=scale, platform_factory=platform_factory,
+                       **runner_kwargs)
     for app, row in fig6.normalized.items():
         lines.append(
             f"| {app} | {row['kvm-guest']:.3f} | {row['hypernel']:.3f} |"
@@ -143,7 +154,8 @@ def generate_report(
         "| benchmark | page | word | ratio | paper ratio |",
         "|---|---|---|---|---|",
     ]
-    table2 = run_table2(scale=scale, platform_factory=platform_factory)
+    table2 = run_table2(scale=scale, platform_factory=platform_factory,
+                        **runner_kwargs)
     for app, row in table2.counts.items():
         p = paper.TABLE2.get(app)
         paper_ratio = (

@@ -15,7 +15,7 @@ from repro.config import PlatformConfig
 from repro.core.hypernel import build_system
 from repro.analysis import paper
 from repro.analysis.compare import arithmetic_mean, format_table, overhead_percent
-from repro.tools.runner import Cell, CellCache, run_cells
+from repro.tools.runner import Cell, CellCache, attach_boot_snapshots, run_cells
 from repro.workloads.lmbench import LMBENCH_OPS, LmbenchSuite
 
 SYSTEMS = ["native", "kvm-guest", "hypernel"]
@@ -78,21 +78,34 @@ def table1_cells(
     ]
 
 
-def execute_cell(cell: Cell) -> Dict[str, Any]:
-    """Worker body: build one system, run its LMbench sweep."""
-    from repro.tools.perf import count_accesses
-
-    spec = cell.spec
-    kwargs = {}
-    if cell.platform_config is not None:
-        kwargs["platform_config"] = cell.platform_config
+def cell_build_args(cell: Cell) -> tuple:
+    """``(system_name, build_kwargs)`` for this cell's environment."""
+    kwargs: Dict[str, Any] = {}
     if cell.environment == "hypernel":
         kwargs["with_mbm"] = False  # paper 7.1: only Hypersec active
     if cell.environment == "kvm-guest":
         # Steady-state measurement: a long-running guest has its
         # memory stage-2-mapped already (cold faults are boot noise).
         kwargs["prepopulate_stage2"] = True
-    system = build_system(cell.environment, **kwargs)
+    return cell.environment, kwargs
+
+
+def cell_system(cell: Cell):
+    """Boot the cell's system — or restore its warm-start snapshot."""
+    name, kwargs = cell_build_args(cell)
+    if cell.snapshot_path:
+        return build_system(name, from_snapshot=cell.snapshot_path)
+    if cell.platform_config is not None:
+        kwargs["platform_config"] = cell.platform_config
+    return build_system(name, **kwargs)
+
+
+def execute_cell(cell: Cell) -> Dict[str, Any]:
+    """Worker body: build one system, run its LMbench sweep."""
+    from repro.tools.perf import count_accesses
+
+    spec = cell.spec
+    system = cell_system(cell)
     suite = LmbenchSuite(
         system, warmup=spec["warmup"], iterations=spec["iterations"]
     )
@@ -112,10 +125,20 @@ def run_table1(
     ops: Optional[List[str]] = None,
     jobs: int = 1,
     cache: Optional[CellCache] = None,
+    warm_start: bool = False,
 ) -> Table1Result:
-    """Build each system, run the LMbench suite, collect Table 1."""
+    """Build each system, run the LMbench suite, collect Table 1.
+
+    With ``warm_start``, each cell restores a shared post-boot snapshot
+    of its system instead of booting (bit-identical by the repro.state
+    contract, so the table itself is byte-identical either way).
+    """
     ops = list(ops or LMBENCH_OPS)
     cells = table1_cells(platform_factory, warmup, iterations, ops)
+    if warm_start:
+        attach_boot_snapshots(
+            cells, cache_dir=cache.directory if cache is not None else None
+        )
     payloads = run_cells(cells, jobs=jobs, cache=cache)
     result = Table1Result(rows={op: {} for op in ops})
     for cell, payload in zip(cells, payloads):

@@ -90,6 +90,13 @@ class SystemRegisters:
         if name not in self._values:
             raise KeyError(f"unknown system register {name!r}")
 
+    def state_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def load_state(self, state: Dict[str, int]) -> None:
+        for name, value in state.items():
+            self.write(name, int(value))
+
     # Convenience predicates -------------------------------------------
     @property
     def stage2_enabled(self) -> bool:

@@ -9,7 +9,11 @@ Commands:
 * ``table2`` — regenerate Table 2 (monitoring granularity).
 * ``attacks`` — run the attack/protection matrix and print verdicts.
 * ``audit`` — build a monitored Hypernel system, run a workload and
-  verify every security invariant against live machine state.
+  verify every security invariant against live machine state; with
+  ``--snapshot PATH``, audit a restored machine image instead.
+* ``snapshot`` — save/restore/inspect/diff machine checkpoints
+  (``repro.state``): ``snapshot save``, ``snapshot restore``,
+  ``snapshot info``, ``snapshot diff``.
 * ``bench-simspeed`` — measure simulation wall-clock throughput
   (simulated accesses per second) and write ``BENCH_simspeed.json``.
 """
@@ -49,13 +53,18 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute every cell, bypassing the "
                         "content-addressed result cache")
+    parser.add_argument("--warm-start", action="store_true",
+                        help="restore each cell's system from a shared "
+                        "post-boot snapshot instead of booting it "
+                        "(bit-identical results, boot cost paid once)")
 
 
 def _runner_kwargs(args):
     from repro.tools.runner import CellCache, default_cache_dir
 
     cache = None if args.no_cache else CellCache(default_cache_dir())
-    return {"jobs": args.jobs, "cache": cache}
+    return {"jobs": args.jobs, "cache": cache,
+            "warm_start": args.warm_start}
 
 
 def cmd_info(args) -> int:
@@ -175,6 +184,7 @@ def cmd_report(args) -> int:
     print(generate_report(
         scale=args.scale,
         platform_factory=lambda: _platform_config(args),
+        **_runner_kwargs(args),
     ))
     return 0
 
@@ -183,6 +193,28 @@ def cmd_audit(args) -> int:
     from repro.core.hypernel import build_hypernel
     from repro.security import CredIntegrityMonitor, DentryIntegrityMonitor
     from repro.workloads.apps import UntarWorkload
+
+    if args.snapshot:
+        from repro.errors import SnapshotError
+        from repro.state import restore_system
+
+        try:
+            system = restore_system(args.snapshot)
+        except (SnapshotError, FileNotFoundError) as exc:
+            print(f"error: {exc}")
+            return 1
+        if system.hypersec is None:
+            print(f"error: snapshot holds a {system.name!r} system; only "
+                  "hypernel images can be audited")
+            return 1
+        print(f"auditing restored {system.name} image "
+              f"({args.snapshot}) ...")
+        if system.mbm is not None:
+            print(f"  MBM events: {system.mbm.events_detected}, alerts: "
+                  f"{sum(len(m.alerts) for m in system.monitors)}")
+        report = system.hypersec.audit()
+        print(report)
+        return 0 if report.clean else 1
 
     system = build_hypernel(
         platform_config=_platform_config(args),
@@ -198,6 +230,80 @@ def cmd_audit(args) -> int:
     report = system.hypersec.audit()
     print(report)
     return 0 if report.clean else 1
+
+
+def _add_audit_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="audit a restored machine image instead of "
+                        "building and exercising a fresh system")
+
+
+def cmd_snapshot(args) -> int:
+    from repro.errors import SnapshotError
+    from repro.state import (
+        diff_snapshots,
+        restore_system,
+        save_snapshot,
+        snapshot_info,
+    )
+
+    try:
+        if args.action == "save":
+            from repro.core.hypernel import build_system
+
+            kwargs = {"platform_config": _platform_config(args)}
+            if args.system == "hypernel" and args.monitored:
+                from repro.security import (
+                    CredIntegrityMonitor,
+                    DentryIntegrityMonitor,
+                )
+
+                kwargs["monitors"] = [CredIntegrityMonitor(),
+                                      DentryIntegrityMonitor()]
+            system = build_system(args.system, **kwargs)
+            snapshot = save_snapshot(system, args.path)
+            print(f"saved {args.system} snapshot to {args.path}")
+            print(f"  content hash: {snapshot.content_hash}")
+            return 0
+        if args.action == "restore":
+            system = restore_system(args.path)
+            print(f"restored {system.name} system from {args.path}")
+            for key, value in system.stats_summary().items():
+                print(f"  {key}: {value}")
+            return 0
+        if args.action == "info":
+            print(snapshot_info(args.path))
+            return 0
+        if args.action == "diff":
+            print(diff_snapshots(args.path_a, args.path_b))
+            return 0
+    except (SnapshotError, FileNotFoundError) as exc:
+        print(f"error: {exc}")
+        return 1
+    raise AssertionError(f"unhandled snapshot action {args.action!r}")
+
+
+def _add_snapshot_args(parser: argparse.ArgumentParser) -> None:
+    actions = parser.add_subparsers(dest="action", required=True)
+    save = actions.add_parser(
+        "save", help="boot a system and write a post-boot snapshot")
+    save.add_argument("path", help="snapshot file to write")
+    save.add_argument("--system", default="hypernel",
+                      choices=["native", "kvm-guest", "hypernel"])
+    save.add_argument("--monitored", action="store_true",
+                      help="include the cred+dentry monitors (hypernel)")
+    _add_platform(save)
+    restore = actions.add_parser(
+        "restore", help="restore a snapshot and print its machine state")
+    restore.add_argument("path", help="snapshot file to read")
+    info = actions.add_parser(
+        "info", help="print a snapshot's manifest without restoring")
+    info.add_argument("path", help="snapshot file to read")
+    diff = actions.add_parser(
+        "diff", help="report which sections/words differ between two "
+        "snapshots")
+    diff.add_argument("path_a")
+    diff.add_argument("path_b")
 
 
 def cmd_bench_simspeed(args) -> int:
@@ -249,8 +355,9 @@ _COMMANDS = {
     "figure6": (cmd_figure6, [_add_platform, _add_scale, _add_runner]),
     "table2": (cmd_table2, [_add_platform, _add_scale, _add_runner]),
     "attacks": (cmd_attacks, [_add_platform]),
-    "audit": (cmd_audit, [_add_platform, _add_scale]),
-    "report": (cmd_report, [_add_platform, _add_scale]),
+    "audit": (cmd_audit, [_add_platform, _add_scale, _add_audit_args]),
+    "report": (cmd_report, [_add_platform, _add_scale, _add_runner]),
+    "snapshot": (cmd_snapshot, [_add_snapshot_args]),
     "bench-simspeed": (cmd_bench_simspeed, [_add_simspeed_args]),
 }
 

@@ -13,8 +13,9 @@ the workloads and benchmarks need.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.config import PlatformConfig
 from repro.hw.platform import Platform
@@ -39,6 +40,29 @@ def _default_platform_config() -> PlatformConfig:
     )
 
 
+def _build_recipe(
+    name: str,
+    kernel_config: KernelConfig,
+    monitors: Optional[List[SecurityApp]] = None,
+    **kwargs: Any,
+) -> Dict[str, Any]:
+    """A JSON description sufficient to rebuild this system's skeleton
+    (everything except the :class:`PlatformConfig`, which the snapshot
+    manifest carries in its cost fingerprint)."""
+    from repro.security.registry import monitor_spec
+
+    return {
+        "system": name,
+        "kwargs": kwargs,
+        "kernel_config": {
+            "linear_map_mode": kernel_config.linear_map_mode,
+            "image_reserve_bytes": kernel_config.image_reserve_bytes,
+            "op_costs": dataclasses.asdict(kernel_config.op_costs),
+        },
+        "monitors": [monitor_spec(app) for app in monitors or []],
+    }
+
+
 @dataclass
 class System:
     """One assembled machine + kernel (+ optional EL2 residents)."""
@@ -52,6 +76,8 @@ class System:
     kvm: Optional[KvmHypervisor] = None
     hooks: Optional[MonitorHookStub] = None
     monitors: List[SecurityApp] = field(default_factory=list)
+    #: how this system was built (consumed by repro.state snapshots).
+    recipe: Dict[str, Any] = field(default_factory=dict)
 
     def spawn_init(self) -> Task:
         """Create and fault in the first process."""
@@ -89,39 +115,44 @@ class System:
 def build_native(
     platform_config: Optional[PlatformConfig] = None,
     kernel_config: Optional[KernelConfig] = None,
+    _skeleton: bool = False,
 ) -> System:
-    """The **Native** case: base kernel, vanilla 2 MB-section map."""
+    """The **Native** case: base kernel, vanilla 2 MB-section map.
+
+    ``_skeleton`` (used by :mod:`repro.state`) wires all components but
+    skips the boot sequence: the restored memory image and component
+    state dicts supply everything boot would have produced.
+    """
     platform = Platform(platform_config or _default_platform_config())
     cpu = CPUCore(platform)
-    kernel = Kernel(
-        platform,
-        cpu,
-        kernel_config or KernelConfig(linear_map_mode="section"),
-    )
-    kernel.boot()
-    return System("native", platform, cpu, kernel)
+    kcfg = kernel_config or KernelConfig(linear_map_mode="section")
+    kernel = Kernel(platform, cpu, kcfg)
+    if not _skeleton:
+        kernel.boot()
+    return System("native", platform, cpu, kernel,
+                  recipe=_build_recipe("native", kcfg))
 
 
 def build_kvm_guest(
     platform_config: Optional[PlatformConfig] = None,
     kernel_config: Optional[KernelConfig] = None,
     prepopulate_stage2: bool = False,
+    _skeleton: bool = False,
 ) -> System:
     """The **KVM-guest** case: the same kernel under nested paging."""
     platform = Platform(platform_config or _default_platform_config())
     cpu = CPUCore(platform)
     kvm = KvmHypervisor(platform, cpu)
     kvm.install()
-    kernel = Kernel(
-        platform,
-        cpu,
-        kernel_config or KernelConfig(linear_map_mode="section"),
-        env=KvmGuestEnvironment(cpu),
-    )
-    kernel.boot()
-    if prepopulate_stage2:
-        kvm.prepopulate(kvm.guest_base, kvm.guest_limit)
-    return System("kvm-guest", platform, cpu, kernel, kvm=kvm)
+    kcfg = kernel_config or KernelConfig(linear_map_mode="section")
+    kernel = Kernel(platform, cpu, kcfg, env=KvmGuestEnvironment(cpu))
+    if not _skeleton:
+        kernel.boot()
+        if prepopulate_stage2:
+            kvm.prepopulate(kvm.guest_base, kvm.guest_limit)
+    return System("kvm-guest", platform, cpu, kernel, kvm=kvm,
+                  recipe=_build_recipe("kvm-guest", kcfg,
+                                       prepopulate_stage2=prepopulate_stage2))
 
 
 def build_hypernel(
@@ -131,6 +162,7 @@ def build_hypernel(
     monitors: Optional[List[SecurityApp]] = None,
     bitmap_cache_enabled: bool = True,
     irq_coalesce: int = 1,
+    _skeleton: bool = False,
 ) -> System:
     """The **Hypernel** case: Hypersec (+ MBM and monitors if requested).
 
@@ -150,17 +182,23 @@ def build_hypernel(
         mbm.attach()
     hypersec = Hypersec(platform, cpu, mbm)
     hypersec.install()
+    kcfg = kernel_config or KernelConfig(linear_map_mode="page")
     kernel = Kernel(
         platform,
         cpu,
-        kernel_config or KernelConfig(linear_map_mode="page"),
+        kcfg,
         pgwriter=HypercallPgTableWriter(cpu),
         env=ExecutionEnvironment(cpu),
     )
-    kernel.boot()
-    hypersec.protect(kernel)
+    if not _skeleton:
+        kernel.boot()
+        hypersec.protect(kernel)
     system = System(
-        "hypernel", platform, cpu, kernel, hypersec=hypersec, mbm=mbm
+        "hypernel", platform, cpu, kernel, hypersec=hypersec, mbm=mbm,
+        recipe=_build_recipe("hypernel", kcfg, monitors=monitors,
+                             with_mbm=with_mbm,
+                             bitmap_cache_enabled=bitmap_cache_enabled,
+                             irq_coalesce=irq_coalesce),
     )
     if with_mbm:
         MbmIrqStub(kernel).install()
@@ -181,10 +219,30 @@ _BUILDERS = {
 }
 
 
-def build_system(name: str, **kwargs) -> System:
-    """Build a configuration by name: native / kvm-guest / hypernel."""
+def build_system(name: str, from_snapshot=None, **kwargs) -> System:
+    """Build a configuration by name: native / kvm-guest / hypernel.
+
+    With ``from_snapshot`` (a path to a file written by
+    :func:`repro.state.save_snapshot`), the system is *restored* instead
+    of booted; ``name`` must match the snapshotted configuration and no
+    other build arguments are accepted (the snapshot dictates them).
+    """
     if name not in _BUILDERS:
         raise KeyError(
             f"unknown system {name!r}; choose from {sorted(_BUILDERS)}"
         )
+    if from_snapshot is not None:
+        if kwargs:
+            raise TypeError(
+                "from_snapshot cannot be combined with build arguments: "
+                f"{sorted(kwargs)}"
+            )
+        from repro.state import restore_system
+
+        system = restore_system(from_snapshot)
+        if system.name != name:
+            raise KeyError(
+                f"snapshot holds a {system.name!r} system, not {name!r}"
+            )
+        return system
     return _BUILDERS[name](**kwargs)

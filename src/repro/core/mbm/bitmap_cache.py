@@ -68,5 +68,18 @@ class BitmapCache:
     def invalidate_all(self) -> None:
         self._lines.clear()
 
+    def state_dict(self) -> dict:
+        """Lines in LRU order (oldest first), as stored."""
+        return {
+            "lines": [[addr, value] for addr, value in self._lines.items()],
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._lines = OrderedDict(
+            (int(addr), int(value)) for addr, value in state["lines"]
+        )
+        self.stats.load_state(state["stats"])
+
     def __len__(self) -> int:
         return len(self._lines)

@@ -38,6 +38,17 @@ class DecisionUnit:
             checked, self._checked = self._checked, 0
             self.stats.add("checked", checked)
 
+    def state_dict(self) -> dict:
+        return {
+            "busy_cycles": self.busy_cycles,
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.busy_cycles = int(state["busy_cycles"])
+        self.stats.load_state(state["stats"])
+        self._checked = 0
+
     def decide(
         self, paddr: int, value: Optional[int], bitmap_word: int, bit: int
     ) -> bool:

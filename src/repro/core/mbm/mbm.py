@@ -85,6 +85,33 @@ class MemoryBusMonitor:
         self._attached = False
 
     # ------------------------------------------------------------------
+    # Checkpoint/restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Pipeline state; the bitmap and ring contents live in
+        simulated (secure) memory, the layout objects are geometry."""
+        return {
+            "undelivered": self._undelivered,
+            "fifo": self.fifo.state_dict(),
+            "ring": self.ring.state_dict(),
+            "bitmap_cache": self.bitmap_cache.state_dict(),
+            "translator": self.translator.state_dict(),
+            "decision": self.decision.state_dict(),
+            "snooper": self.snooper.state_dict(),
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._undelivered = int(state["undelivered"])
+        self.fifo.load_state(state["fifo"])
+        self.ring.load_state(state["ring"])
+        self.bitmap_cache.load_state(state["bitmap_cache"])
+        self.translator.load_state(state["translator"])
+        self.decision.load_state(state["decision"])
+        self.snooper.load_state(state["snooper"])
+        self.stats.load_state(state["stats"])
+
+    # ------------------------------------------------------------------
     @property
     def secure_range(self) -> Tuple[int, int]:
         return self.platform.secure_base, self.platform.secure_limit

@@ -39,6 +39,13 @@ class BusTrafficSnooper:
             observed, self._observed = self._observed, 0
             self.stats.add("observed", observed)
 
+    def state_dict(self) -> dict:
+        return {"stats": self.stats.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        self.stats.load_state(state["stats"])
+        self._observed = 0
+
     def __call__(self, txn: BusTransaction) -> None:
         """Observe one bus transaction (installed as a bus snooper)."""
         mbm = self.mbm

@@ -38,6 +38,10 @@ class ConfigurationError(SimulationError):
     """A component was assembled or configured inconsistently."""
 
 
+class SnapshotError(SimulationError):
+    """A machine snapshot could not be written, read or restored."""
+
+
 class ProtocolError(SimulationError):
     """A hardware-protocol invariant was violated (e.g. FIFO overrun
     handling misused, ring-buffer read past the producer)."""

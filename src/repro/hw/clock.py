@@ -39,6 +39,13 @@ class Clock:
         """Cycles elapsed since a previously captured ``now`` value."""
         return self._cycles - start
 
+    def state_dict(self) -> dict:
+        return {"freq_hz": self.freq_hz, "cycles": self._cycles}
+
+    def load_state(self, state: dict) -> None:
+        self.freq_hz = float(state["freq_hz"])
+        self._cycles = int(state["cycles"])
+
     def to_us(self, cycles: int) -> float:
         """Convert a cycle count to microseconds at this clock's frequency."""
         return cycles / self.freq_hz * 1e6

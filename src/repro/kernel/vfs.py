@@ -29,6 +29,20 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
 
 
+def name_hash(name: str) -> int:
+    """Deterministic 64-bit FNV-1a of a dentry name.
+
+    The real kernel's d_hash is a pure function of the name; Python's
+    builtin ``hash`` is salted per process, which would make the memory
+    images of two identically-built machines differ across processes
+    and break snapshot content-hash comparability (``repro.state``).
+    """
+    value = 0xCBF2_9CE4_8422_2325
+    for byte in name.encode():
+        value = ((value ^ byte) * 0x1_0000_0001_B3) & ((1 << 64) - 1)
+    return value
+
+
 @dataclass
 class VfsNode:
     """Python-side bookkeeping mirroring one dentry+inode pair."""
@@ -62,6 +76,49 @@ class VFS:
         self._sb_token = 0x5B  # superblock cookie written into d_sb
         self.root = self._make_node("/", parent=None, is_dir=True)
 
+    @staticmethod
+    def _node_state(node: VfsNode) -> dict:
+        return {
+            "name": node.name,
+            "dentry_pa": node.dentry_pa,
+            "inode_pa": node.inode_pa,
+            "is_dir": node.is_dir,
+            "data_pages": list(node.data_pages),
+            "size_bytes": node.size_bytes,
+            "children": [VFS._node_state(child)
+                         for child in node.children.values()],
+        }
+
+    @staticmethod
+    def _node_from_state(state: dict, parent: Optional[VfsNode]) -> VfsNode:
+        node = VfsNode(
+            name=str(state["name"]),
+            dentry_pa=int(state["dentry_pa"]),
+            inode_pa=int(state["inode_pa"]),
+            is_dir=bool(state["is_dir"]),
+            parent=parent,
+            data_pages=[int(p) for p in state["data_pages"]],
+            size_bytes=int(state["size_bytes"]),
+        )
+        for child_state in state["children"]:
+            child = VFS._node_from_state(child_state, node)
+            node.children[child.name] = child
+        return node
+
+    def state_dict(self) -> dict:
+        """The whole tree; open FileHandles are transient (snapshots are
+        taken at quiescent points, between workload phases)."""
+        return {
+            "sb_token": self._sb_token,
+            "root": self._node_state(self.root),
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._sb_token = int(state["sb_token"])
+        self.root = self._node_from_state(state["root"], None)
+        self.stats.load_state(state["stats"])
+
     # ------------------------------------------------------------------
     # Object construction
     # ------------------------------------------------------------------
@@ -75,10 +132,10 @@ class VFS:
         write = kernel.write_field
         write(dentry_pa, DENTRY, "d_flags", 1 if is_dir else 2)
         write(dentry_pa, DENTRY, "d_seq", 0)
-        write(dentry_pa, DENTRY, "d_hash", hash(name) & 0xFFFF_FFFF)
+        write(dentry_pa, DENTRY, "d_hash", name_hash(name) & 0xFFFF_FFFF)
         write(dentry_pa, DENTRY, "d_parent",
               parent.dentry_pa if parent else dentry_pa)
-        write(dentry_pa, DENTRY, "d_name", hash(name) & ((1 << 64) - 1))
+        write(dentry_pa, DENTRY, "d_name", name_hash(name))
         # Short names live inline in d_iname; write the words used.
         name_words = min(4, max(1, (len(name) + WORD_BYTES - 1) // WORD_BYTES))
         for word in range(name_words):
@@ -233,7 +290,7 @@ class VFS:
         seq = kernel.read_field(node.dentry_pa, DENTRY, "d_seq")
         kernel.write_field(node.dentry_pa, DENTRY, "d_seq", seq + 1)
         kernel.write_field(node.dentry_pa, DENTRY, "d_name",
-                           hash(new_name) & ((1 << 64) - 1))
+                           name_hash(new_name))
         kernel.write_field(node.dentry_pa, DENTRY, "d_seq", seq + 2)
         del node.parent.children[node.name]
         node.parent.children[new_name] = node

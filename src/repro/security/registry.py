@@ -1,0 +1,54 @@
+"""Serializable descriptions of security-application instances.
+
+Snapshots (:mod:`repro.state`) persist *which* monitors a system was
+built with so a restore can reconstruct the same objects before loading
+their shadow state.  Only the stock monitor classes are registered;
+ad-hoc :class:`~repro.security.app.SecurityApp` subclasses make a
+system unsnapshottable (the restore side could not rebuild them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+from repro.security.app import SecurityApp
+from repro.security.baseline_page import WholeObjectMonitor
+from repro.security.cred_monitor import CredIntegrityMonitor
+from repro.security.dentry_monitor import DentryIntegrityMonitor
+from repro.security.inode_monitor import InodeIntegrityMonitor
+
+#: class name -> no-argument-compatible constructor.
+MONITOR_CLASSES = {
+    "CredIntegrityMonitor": CredIntegrityMonitor,
+    "DentryIntegrityMonitor": DentryIntegrityMonitor,
+    "InodeIntegrityMonitor": InodeIntegrityMonitor,
+    "WholeObjectMonitor": WholeObjectMonitor,
+}
+
+
+def monitor_spec(app: SecurityApp) -> Dict[str, Any]:
+    """A JSON description from which ``monitor_from_spec`` rebuilds."""
+    class_name = type(app).__name__
+    if class_name not in MONITOR_CLASSES:
+        raise ConfigurationError(
+            f"monitor class {class_name!r} is not registered for "
+            f"snapshotting (see repro.security.registry)"
+        )
+    spec: Dict[str, Any] = {"class": class_name}
+    if isinstance(app, WholeObjectMonitor):
+        spec["layouts"] = sorted(app.templates)
+    return spec
+
+
+def monitor_from_spec(spec: Dict[str, Any]) -> SecurityApp:
+    """Reconstruct a monitor instance from its spec."""
+    class_name = spec["class"]
+    if class_name not in MONITOR_CLASSES:
+        raise ConfigurationError(
+            f"snapshot references unknown monitor class {class_name!r}"
+        )
+    cls = MONITOR_CLASSES[class_name]
+    if cls is WholeObjectMonitor:
+        return WholeObjectMonitor(tuple(spec["layouts"]))
+    return cls()

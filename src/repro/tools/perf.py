@@ -20,6 +20,15 @@ module measures engine throughput on three representative workloads:
     fan-out path.  Both must report identical simulated work; their
     wall-clock ratio is the parallel speedup ``scripts/check_simspeed.py``
     reports (and gates on hosts with >= 4 cores).
+``table1_runner_warmstart``
+    The same Table 1 regeneration with every cell restored from a
+    shared post-boot snapshot (:mod:`repro.state`) instead of booted.
+    The boot images are built untimed during setup, so the measured
+    wall clock is the restore-and-run path; simulated accesses/cycles
+    must be *identical* to ``table1_runner_serial`` (restore-then-run
+    equals boot-then-run — the bit-identical replay contract), and the
+    wall-clock gap vs serial is the boot-time saving
+    ``scripts/check_simspeed.py`` reports.
 
 Two kinds of numbers come out:
 
@@ -168,6 +177,38 @@ def _build_table1_runner(jobs: int) -> Callable:
     return build
 
 
+def _build_table1_runner_warmstart(config: PlatformConfig):
+    """Table 1 via the runner with warm-started (restored) cells.
+
+    The shared boot snapshots are created here, in the untimed build
+    step; ``op`` then measures only restore-plus-workload.  Snapshots
+    go to a private temporary directory so the benchmark never reads a
+    stale image from the user's cache.
+    """
+    import copy
+    import tempfile
+
+    from repro.analysis.tables import table1_cells
+    from repro.tools.runner import attach_boot_snapshots, run_cells
+
+    snapshot_dir = tempfile.mkdtemp(prefix="repro-warmstart-")
+    factory = lambda: copy.deepcopy(config)  # noqa: E731
+    attach_boot_snapshots(table1_cells(platform_factory=factory),
+                          cache_dir=snapshot_dir)
+
+    def op() -> Tuple[int, int]:
+        cells = attach_boot_snapshots(
+            table1_cells(platform_factory=factory), cache_dir=snapshot_dir
+        )
+        payloads = run_cells(cells, jobs=1, cache=None)
+        return (
+            sum(p["accesses"] for p in payloads),
+            sum(p["sim_cycles"] for p in payloads),
+        )
+
+    return None, op
+
+
 #: name -> (builder, default iteration count).  Builders return either
 #: ``(system, op)`` — accesses counted on the system — or ``(None, op)``
 #: with ``op`` returning its own ``(accesses, sim_cycles)`` tallies.
@@ -177,11 +218,15 @@ WORKLOADS: Dict[str, Tuple[Callable, int]] = {
     "monitored_write_storm": (_build_monitored_write_storm, 3000),
     "table1_runner_serial": (_build_table1_runner(1), 1),
     "table1_runner_parallel": (_build_table1_runner(4), 1),
+    "table1_runner_warmstart": (_build_table1_runner_warmstart, 1),
 }
 
 #: The workload pair whose wall-clock ratio is the runner speedup.
 RUNNER_SERIAL_WORKLOAD = "table1_runner_serial"
 RUNNER_PARALLEL_WORKLOAD = "table1_runner_parallel"
+#: Warm-start twin of the serial runner workload: must report the same
+#: simulated work; its wall-clock gap vs serial is the boot saving.
+RUNNER_WARMSTART_WORKLOAD = "table1_runner_warmstart"
 
 
 # ----------------------------------------------------------------------

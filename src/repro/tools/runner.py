@@ -47,7 +47,7 @@ import time
 from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
 from importlib import import_module
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import __version__
 from repro.config import PlatformConfig
@@ -69,6 +69,15 @@ KIND_EXECUTORS: Dict[str, str] = {
     # Test-only workload used by the runner's own test suite: echoes,
     # fails, fails-once (marker file) or sleeps on demand.
     "selftest": "repro.tools.runner:execute_selftest_cell",
+}
+
+#: cell kind -> "module:function" returning ``(system_name, build_kwargs)``
+#: for the cell's environment.  Used by :func:`attach_boot_snapshots` to
+#: key and build shared post-boot images (repro.state warm starts).
+KIND_BUILDERS: Dict[str, str] = {
+    "table1": "repro.analysis.tables:cell_build_args",
+    "figure6": "repro.analysis.figures:cell_build_args",
+    "table2": "repro.analysis.monitoring:cell_build_args",
 }
 
 
@@ -95,6 +104,12 @@ class Cell:
     spec: Dict[str, Any] = field(default_factory=dict)
     platform_config: Optional[PlatformConfig] = None
     cacheable: bool = True
+    #: path to a post-boot snapshot to warm-start from (set by
+    #: :func:`attach_boot_snapshots`).  Deliberately *not* part of the
+    #: cache key — the snapshot's content hash goes into
+    #: ``spec["boot_snapshot"]`` instead, so a cached result is keyed by
+    #: what the image contains, never by where it happens to live.
+    snapshot_path: Optional[str] = None
 
     def label(self) -> str:
         return f"{self.kind}:{self.environment}:{self.workload}"
@@ -232,6 +247,56 @@ class CellCache:
         tmp.replace(self._path(key))  # atomic: a reader never sees half a file
         self.stores += 1
         return True
+
+
+# ----------------------------------------------------------------------
+# Warm-start boot snapshots
+# ----------------------------------------------------------------------
+def attach_boot_snapshots(
+    cells: List[Cell],
+    cache_dir: Optional[os.PathLike | str] = None,
+) -> List[Cell]:
+    """Give each cell a shared post-boot snapshot for its environment.
+
+    Cells of the same kind and environment (same build arguments and
+    cost fingerprint) share one content-addressed boot image under
+    ``<cache_dir>/snapshots/``; each is built at most once per call —
+    and at most once *ever* per configuration, since existing images
+    are reused.  The executor then restores instead of booting, and the
+    image's content hash is folded into ``spec["boot_snapshot"]`` so
+    warm results get distinct cache keys from cold ones.
+
+    Restore-then-run is bit-identical to boot-then-run (the repro.state
+    contract), so merged tables stay byte-identical either way.
+    """
+    # Imported lazily: repro.state pulls in the builders, and keeping
+    # this module import-light matters for spawn-start worker processes.
+    from repro import state
+    from repro.core.hypernel import build_system
+
+    directory = (pathlib.Path(cache_dir) if cache_dir is not None
+                 else default_cache_dir())
+    built: Dict[str, Tuple[str, str]] = {}
+    for cell in cells:
+        if cell.kind not in KIND_BUILDERS:
+            continue
+        module_name, _, func_name = KIND_BUILDERS[cell.kind].partition(":")
+        build_args = getattr(import_module(module_name), func_name)
+        name, kwargs = build_args(cell)
+        key = state.boot_image_key(name, kwargs, cell.platform_config)
+        if key not in built:
+            path, content_hash = state.ensure_boot_snapshot(
+                lambda **kw: build_system(name, **kw),
+                name,
+                kwargs,
+                cell.platform_config,
+                directory,
+            )
+            built[key] = (str(path), content_hash)
+        path_str, content_hash = built[key]
+        cell.snapshot_path = path_str
+        cell.spec = dict(cell.spec, boot_snapshot=content_hash)
+    return cells
 
 
 # ----------------------------------------------------------------------

@@ -124,11 +124,15 @@ class BusTracer:
     # Reporting
     # ------------------------------------------------------------------
     def to_text(self, last: Optional[int] = None) -> str:
-        """The trace as text, optionally only the ``last`` records."""
+        """The trace as text, optionally only the ``last`` records.
+
+        Over-capacity transactions are counted, not recorded; the text
+        ends with a ``(+N dropped)`` suffix when any were lost.
+        """
         records = self.records if last is None else self.records[-last:]
         lines = [str(record) for record in records]
         if self.dropped:
-            lines.append(f"... {self.dropped} records dropped (capacity)")
+            lines.append(f"(+{self.dropped} dropped)")
         return "\n".join(lines) if lines else "(no transactions captured)"
 
     def summary(self) -> dict:

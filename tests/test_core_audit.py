@@ -162,6 +162,37 @@ class TestSeededViolations:
         report = system.hypersec.audit()
         assert "violation" in str(report)
 
+    def test_seeded_violation_survives_snapshot(self, system, tmp_path):
+        """A poisoned machine image audited *after* a checkpoint/restore
+        round trip must report the same violation — the forensic use
+        case behind ``repro audit --snapshot``."""
+        from repro.state import restore_system, save_snapshot
+
+        word_addr = system.mbm.bitmap.bitmap_base + 0x2000
+        system.platform.bus.poke(word_addr, 0xFFFF)
+        path = tmp_path / "poisoned.snap"
+        save_snapshot(system, path)
+        restored = restore_system(path)
+        report = restored.hypersec.audit()
+        assert any(f.invariant == "BITMAP_CONSISTENT" for f in report.findings)
+
+    def test_cli_audit_snapshot_exit_codes(self, system, tmp_path, capsys):
+        from repro.cli import main
+        from repro.state import save_snapshot
+
+        clean = tmp_path / "clean.snap"
+        save_snapshot(system, clean)
+        assert main(["audit", "--snapshot", str(clean)]) == 0
+        assert "audit clean" in capsys.readouterr().out
+
+        system.platform.bus.poke(
+            system.mbm.bitmap.bitmap_base + 0x2000, 0xFFFF
+        )
+        poisoned = tmp_path / "poisoned.snap"
+        save_snapshot(system, poisoned)
+        assert main(["audit", "--snapshot", str(poisoned)]) == 1
+        assert "violation" in capsys.readouterr().out
+
     def test_auditor_survives_table_loops(self, system):
         """A malformed self-referential table must not hang the walk."""
         kernel = system.kernel
