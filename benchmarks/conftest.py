@@ -9,6 +9,12 @@ Environment knobs:
 * ``REPRO_BENCH_JOBS`` — worker processes for independent experiment
   cells (default 1 = serial; the table/figure benchmarks fan their
   per-system cells out over ``repro.tools.runner``).
+* ``REPRO_BENCH_BACKEND`` — cell execution backend
+  (``auto``/``forkserver``/``pool``/``serial``).  Resolved inside
+  ``run_cells`` itself, overriding whatever backend the caller pinned —
+  including the per-workload pins in ``repro.tools.perf`` — so one
+  variable switches the whole benchmark fleet (CI uses ``pool`` to
+  exercise the fork-server fallback path).
 
 Each benchmark regenerates one table/figure, writes the formatted
 result to ``benchmarks/results/`` and attaches the headline numbers to

@@ -23,7 +23,17 @@ it against the committed baseline ``BENCH_simspeed.json``:
   report simulated accesses/sim_cycles *identical* to
   ``table1_runner_serial`` — restore-then-run equals boot-then-run —
   and the boot-time saving vs the serial run is reported (wall clock,
-  machine sensitive, so informational only).
+  machine sensitive, so informational only);
+* verifies the fork-server entry: ``table1_runner_forkserver``
+  (persistent warm servers forking copy-on-write workers, see
+  ``repro.tools.forkserver``) must report simulated
+  accesses/sim_cycles *identical* to ``table1_runner_serial``, and on
+  hosts with >= 4 cores must be at least ``--min-forkserver-speedup``
+  (default 1.3x, env ``REPRO_MIN_FORKSERVER_SPEEDUP``) faster than the
+  pool-based ``table1_runner_parallel``.  The speedup is reported but
+  not gated on smaller hosts, or when the fork-server backend is not
+  actually in effect (``REPRO_BENCH_BACKEND`` forcing another backend,
+  or a platform without ``os.fork``).
 
 Usage::
 
@@ -87,6 +97,53 @@ def runner_failures(current: dict, baseline: dict,
     return failures
 
 
+def forkserver_failures(current: dict, baseline: dict,
+                        min_speedup: float) -> list:
+    """Check the fork-server runner entry (see module docstring)."""
+    from repro.tools import forkserver
+
+    failures = []
+    fork_name = perf.RUNNER_FORKSERVER_WORKLOAD
+    if fork_name not in baseline.get("workloads", {}):
+        failures.append(
+            f"{fork_name}: missing from the baseline — re-run with --update"
+        )
+    current_workloads = current.get("workloads", {})
+    serial = current_workloads.get(perf.RUNNER_SERIAL_WORKLOAD)
+    parallel = current_workloads.get(perf.RUNNER_PARALLEL_WORKLOAD)
+    fork = current_workloads.get(fork_name)
+    if not serial or not fork:
+        return failures
+    for field in ("accesses", "sim_cycles"):
+        if serial[field] != fork[field]:
+            failures.append(
+                f"fork-server runner changed simulated {field} vs serial "
+                f"({serial[field]} vs {fork[field]}) — copy-on-write "
+                f"fan-out must not change simulated behaviour"
+            )
+    # The speedup gate only means something when the workload really ran
+    # on the fork server: REPRO_BENCH_BACKEND overrides the pinned
+    # backend inside run_cells, and fork-less platforms silently degrade
+    # to the pool.
+    forced = os.environ.get("REPRO_BENCH_BACKEND")
+    in_effect = (forkserver.fork_available()
+                 and forced in (None, "", "forkserver", "auto"))
+    cores = os.cpu_count() or 1
+    if parallel and parallel["wall_seconds"] > 0 and fork["wall_seconds"] > 0:
+        speedup = parallel["wall_seconds"] / fork["wall_seconds"]
+        print(f"fork-server table1 runner speedup vs pool: {speedup:.2f}x "
+              f"(jobs=4 on {cores} cores"
+              f"{'' if in_effect else '; backend not in effect'})")
+        if (in_effect and cores >= SPEEDUP_GATE_MIN_CORES
+                and speedup < min_speedup):
+            failures.append(
+                f"fork-server table1 runner speedup {speedup:.2f}x vs the "
+                f"pool is below the required {min_speedup:.2f}x on a "
+                f"{cores}-core host"
+            )
+    return failures
+
+
 def warmstart_failures(current: dict, baseline: dict) -> list:
     """Check the warm-start runner entry (see module docstring)."""
     failures = []
@@ -136,6 +193,12 @@ def main(argv=None) -> int:
                             "REPRO_MIN_PARALLEL_SPEEDUP", "2.0")),
                         help="required table1 runner speedup at jobs=4 "
                         "(gated only on hosts with >= 4 cores)")
+    parser.add_argument("--min-forkserver-speedup", type=float,
+                        default=float(os.environ.get(
+                            "REPRO_MIN_FORKSERVER_SPEEDUP", "1.3")),
+                        help="required fork-server speedup vs the pool at "
+                        "jobs=4 (gated only on hosts with >= 4 cores and "
+                        "when the fork-server backend is in effect)")
     args = parser.parse_args(argv)
 
     results = perf.run_simspeed(iters_scale=args.iters_scale,
@@ -158,6 +221,8 @@ def main(argv=None) -> int:
     failures += runner_failures(current, baseline,
                                 min_speedup=args.min_parallel_speedup)
     failures += warmstart_failures(current, baseline)
+    failures += forkserver_failures(current, baseline,
+                                    min_speedup=args.min_forkserver_speedup)
     for failure in failures:
         print(f"FAIL: {failure}")
     if failures:

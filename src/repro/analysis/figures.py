@@ -111,14 +111,18 @@ def cell_system(cell: Cell):
     return build_system(name, **kwargs)
 
 
-def execute_cell(cell: Cell) -> Dict[str, Any]:
-    """Worker body: build one system, run every application on it."""
+def execute_cell_on(cell: Cell, system) -> Dict[str, Any]:
+    """Run every application on a pristine, pre-built ``system``.
+
+    Shared workload body for all runner backends; the fork-server
+    backend calls it in a copy-on-write child with the server's
+    inherited machine (see :mod:`repro.tools.forkserver`).
+    """
     from repro.tools.perf import count_accesses
 
     apps = cell.spec.get("apps")
     if apps is None:
         apps = default_applications(cell.spec["scale"])
-    system = cell_system(cell)
     shell = system.spawn_init()
     raw_us: Dict[str, float] = {}
     for app in apps:
@@ -132,6 +136,11 @@ def execute_cell(cell: Cell) -> Dict[str, Any]:
     }
 
 
+def execute_cell(cell: Cell) -> Dict[str, Any]:
+    """Worker body: build one system, run every application on it."""
+    return execute_cell_on(cell, cell_system(cell))
+
+
 def run_figure6(
     scale: float = 0.25,
     platform_factory: Optional[Callable[[], PlatformConfig]] = None,
@@ -139,11 +148,13 @@ def run_figure6(
     jobs: int = 1,
     cache: Optional[CellCache] = None,
     warm_start: bool = False,
+    backend: str = "auto",
 ) -> Figure6Result:
     """Run each application on each system; normalize to native.
 
     ``warm_start`` restores each cell's system from a shared post-boot
-    snapshot instead of booting it (see repro.state).
+    snapshot instead of booting it (see repro.state); ``backend`` picks
+    the cell execution backend (see ``run_cells``).
     """
     result = Figure6Result()
     cells = figure6_cells(scale, platform_factory, apps)
@@ -151,7 +162,7 @@ def run_figure6(
         attach_boot_snapshots(
             cells, cache_dir=cache.directory if cache is not None else None
         )
-    payloads = run_cells(cells, jobs=jobs, cache=cache)
+    payloads = run_cells(cells, jobs=jobs, cache=cache, backend=backend)
     for cell, payload in zip(cells, payloads):
         for app_name, microseconds in payload["raw_us"].items():
             result.raw_us.setdefault(app_name, {})[cell.environment] = microseconds

@@ -126,14 +126,18 @@ def cell_system(cell: Cell):
     return build_hypernel(**kwargs)
 
 
-def execute_cell(cell: Cell) -> Dict[str, Any]:
-    """Worker body: one monitored Hypernel system, all applications."""
+def execute_cell_on(cell: Cell, system) -> Dict[str, Any]:
+    """Run all applications on a pristine, pre-built monitored system.
+
+    Shared workload body for all runner backends; the fork-server
+    backend calls it in a copy-on-write child with the server's
+    inherited machine (see :mod:`repro.tools.forkserver`).
+    """
     from repro.tools.perf import count_accesses
 
     apps = cell.spec.get("apps")
     if apps is None:
         apps = default_applications(cell.spec["scale"])
-    system = cell_system(cell)
     shell = system.spawn_init()
     counts: Dict[str, int] = {}
     for app in apps:
@@ -148,6 +152,11 @@ def execute_cell(cell: Cell) -> Dict[str, Any]:
     }
 
 
+def execute_cell(cell: Cell) -> Dict[str, Any]:
+    """Worker body: one monitored Hypernel system, all applications."""
+    return execute_cell_on(cell, cell_system(cell))
+
+
 def run_table2(
     scale: float = 0.25,
     platform_factory: Optional[Callable[[], PlatformConfig]] = None,
@@ -155,11 +164,13 @@ def run_table2(
     jobs: int = 1,
     cache: Optional[CellCache] = None,
     warm_start: bool = False,
+    backend: str = "auto",
 ) -> Table2Result:
     """Run the five applications under both monitoring configurations.
 
     ``warm_start`` restores each granularity's monitored system from a
-    shared post-boot snapshot instead of booting it (see repro.state).
+    shared post-boot snapshot instead of booting it (see repro.state);
+    ``backend`` picks the cell execution backend (see ``run_cells``).
     """
     result = Table2Result(scale=scale)
     cells = table2_cells(scale, platform_factory, apps)
@@ -167,7 +178,7 @@ def run_table2(
         attach_boot_snapshots(
             cells, cache_dir=cache.directory if cache is not None else None
         )
-    payloads = run_cells(cells, jobs=jobs, cache=cache)
+    payloads = run_cells(cells, jobs=jobs, cache=cache, backend=backend)
     for cell, payload in zip(cells, payloads):
         for app_name, delta in payload["counts"].items():
             result.counts.setdefault(app_name, {})[cell.environment] = delta

@@ -90,18 +90,20 @@ def generate_report(
     jobs: int = 1,
     cache: Optional[CellCache] = None,
     warm_start: bool = False,
+    backend: str = "auto",
 ) -> str:
     """Run the full evaluation and return it as a markdown document.
 
-    ``jobs``, ``cache`` and ``warm_start`` are forwarded to the three
-    cell-based experiment runners (the attack matrix stays in-process:
-    its scenarios share mutable victim systems).
+    ``jobs``, ``cache``, ``warm_start`` and ``backend`` are forwarded to
+    the three cell-based experiment runners (the attack matrix stays
+    in-process: its scenarios share mutable victim systems).
     """
     if platform_factory is None:
         platform_factory = lambda: PlatformConfig(  # noqa: E731
             dram_bytes=192 * 1024 * 1024, secure_bytes=24 * 1024 * 1024
         )
-    runner_kwargs = {"jobs": jobs, "cache": cache, "warm_start": warm_start}
+    runner_kwargs = {"jobs": jobs, "cache": cache, "warm_start": warm_start,
+                     "backend": backend}
     lines: List[str] = [
         "# Hypernel reproduction — evaluation report",
         "",

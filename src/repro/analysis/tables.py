@@ -100,12 +100,18 @@ def cell_system(cell: Cell):
     return build_system(name, **kwargs)
 
 
-def execute_cell(cell: Cell) -> Dict[str, Any]:
-    """Worker body: build one system, run its LMbench sweep."""
+def execute_cell_on(cell: Cell, system) -> Dict[str, Any]:
+    """Run the cell's LMbench sweep on a pristine, pre-built ``system``.
+
+    The fork-server backend boots (or restores) one system per
+    environment and forks a copy-on-write child per cell; the child
+    lands here with the inherited machine.  The serial and pool paths
+    reach the same code through :func:`execute_cell`, so every backend
+    runs the identical workload body.
+    """
     from repro.tools.perf import count_accesses
 
     spec = cell.spec
-    system = cell_system(cell)
     suite = LmbenchSuite(
         system, warmup=spec["warmup"], iterations=spec["iterations"]
     )
@@ -118,6 +124,11 @@ def execute_cell(cell: Cell) -> Dict[str, Any]:
     }
 
 
+def execute_cell(cell: Cell) -> Dict[str, Any]:
+    """Worker body: build one system, run its LMbench sweep."""
+    return execute_cell_on(cell, cell_system(cell))
+
+
 def run_table1(
     platform_factory: Optional[Callable[[], PlatformConfig]] = None,
     warmup: int = 4,
@@ -126,12 +137,14 @@ def run_table1(
     jobs: int = 1,
     cache: Optional[CellCache] = None,
     warm_start: bool = False,
+    backend: str = "auto",
 ) -> Table1Result:
     """Build each system, run the LMbench suite, collect Table 1.
 
     With ``warm_start``, each cell restores a shared post-boot snapshot
     of its system instead of booting (bit-identical by the repro.state
     contract, so the table itself is byte-identical either way).
+    ``backend`` picks the cell execution backend (see ``run_cells``).
     """
     ops = list(ops or LMBENCH_OPS)
     cells = table1_cells(platform_factory, warmup, iterations, ops)
@@ -139,7 +152,7 @@ def run_table1(
         attach_boot_snapshots(
             cells, cache_dir=cache.directory if cache is not None else None
         )
-    payloads = run_cells(cells, jobs=jobs, cache=cache)
+    payloads = run_cells(cells, jobs=jobs, cache=cache, backend=backend)
     result = Table1Result(rows={op: {} for op in ops})
     for cell, payload in zip(cells, payloads):
         for op in ops:

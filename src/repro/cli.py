@@ -16,12 +16,16 @@ Commands:
   ``snapshot info``, ``snapshot diff``.
 * ``bench-simspeed`` — measure simulation wall-clock throughput
   (simulated accesses per second) and write ``BENCH_simspeed.json``.
+* ``cache`` — inspect (``cache info``) or garbage-collect
+  (``cache prune``) the content-addressed result cache and its
+  warm-start boot snapshots.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.config import PlatformConfig
@@ -57,6 +61,13 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
                         help="restore each cell's system from a shared "
                         "post-boot snapshot instead of booting it "
                         "(bit-identical results, boot cost paid once)")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "forkserver", "pool", "serial"],
+                        help="cell execution backend: forkserver (warm "
+                        "servers fork copy-on-write workers), pool "
+                        "(process pool), serial, or auto (forkserver "
+                        "when available and --jobs > 1; overridable "
+                        "via REPRO_BENCH_BACKEND)")
 
 
 def _runner_kwargs(args):
@@ -64,7 +75,7 @@ def _runner_kwargs(args):
 
     cache = None if args.no_cache else CellCache(default_cache_dir())
     return {"jobs": args.jobs, "cache": cache,
-            "warm_start": args.warm_start}
+            "warm_start": args.warm_start, "backend": args.backend}
 
 
 def cmd_info(args) -> int:
@@ -306,6 +317,64 @@ def _add_snapshot_args(parser: argparse.ArgumentParser) -> None:
     diff.add_argument("path_b")
 
 
+def cmd_cache(args) -> int:
+    from repro.tools.runner import cache_contents, default_cache_dir, prune_cache
+
+    directory = args.dir or default_cache_dir()
+    if args.action == "info":
+        inventory = cache_contents(directory)
+        entries = inventory["entries"]
+        results = [e for e in entries if e["kind"] == "result"]
+        snapshots = [e for e in entries if e["kind"] == "snapshot"]
+        print(f"cache directory: {inventory['directory']}")
+        print(f"  result entries: {len(results)} "
+              f"({sum(e['bytes'] for e in results)} bytes)")
+        print(f"  boot snapshots: {len(snapshots)} "
+              f"({sum(e['bytes'] for e in snapshots)} bytes)")
+        print(f"  total: {len(entries)} files, {inventory['total_bytes']} bytes")
+        if args.verbose:
+            for entry in sorted(entries, key=lambda e: e["mtime"]):
+                age_days = (time.time() - entry["mtime"]) / 86400.0
+                print(f"  {entry['kind']:8s} {entry['bytes']:>10d} B "
+                      f"{age_days:6.1f} d  {entry['path']}")
+        return 0
+    if args.action == "prune":
+        removed = prune_cache(
+            directory,
+            max_age_days=args.max_age,
+            max_bytes=args.max_bytes,
+        )
+        for path in removed:
+            print(f"removed {path}")
+        remaining = cache_contents(directory)
+        print(f"pruned {len(removed)} entries; {len(remaining['entries'])} "
+              f"remain ({remaining['total_bytes']} bytes)")
+        return 0
+    raise AssertionError(f"unhandled cache action {args.action!r}")
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    actions = parser.add_subparsers(dest="action", required=True)
+    info = actions.add_parser(
+        "info", help="summarize cached results and boot snapshots")
+    info.add_argument("--dir", default=None,
+                      help="cache directory (default REPRO_CACHE_DIR or "
+                      "benchmarks/.cache)")
+    info.add_argument("--verbose", action="store_true",
+                      help="list every entry with size and age")
+    prune = actions.add_parser(
+        "prune", help="delete old entries; everything pruned is safely "
+        "recomputable (content-addressed)")
+    prune.add_argument("--dir", default=None,
+                       help="cache directory (default REPRO_CACHE_DIR or "
+                       "benchmarks/.cache)")
+    prune.add_argument("--max-age", type=float, default=None, metavar="DAYS",
+                       help="drop entries older than DAYS")
+    prune.add_argument("--max-bytes", type=int, default=None,
+                       help="evict oldest entries until the cache fits "
+                       "in this many bytes")
+
+
 def cmd_bench_simspeed(args) -> int:
     from repro.tools import perf
 
@@ -359,6 +428,7 @@ _COMMANDS = {
     "report": (cmd_report, [_add_platform, _add_scale, _add_runner]),
     "snapshot": (cmd_snapshot, [_add_snapshot_args]),
     "bench-simspeed": (cmd_bench_simspeed, [_add_simspeed_args]),
+    "cache": (cmd_cache, [_add_cache_args]),
 }
 
 

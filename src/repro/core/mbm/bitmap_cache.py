@@ -29,18 +29,36 @@ class BitmapCache:
         self.enabled = enabled
         self._lines: "OrderedDict[int, int]" = OrderedDict()
         self.stats = StatSet("mbm_bitmap_cache")
+        self.stats.flush_hook = self._flush_pending
+        # Batched hot-path counters: lookup() runs once per captured
+        # write event (see StatSet docs).
+        self._hits = 0
+        self._misses = 0
+        self._bypasses = 0
+
+    def _flush_pending(self) -> None:
+        stats = self.stats
+        if self._hits:
+            hits, self._hits = self._hits, 0
+            stats.add("hits", hits)
+        if self._misses:
+            misses, self._misses = self._misses, 0
+            stats.add("misses", misses)
+        if self._bypasses:
+            bypasses, self._bypasses = self._bypasses, 0
+            stats.add("bypasses", bypasses)
 
     def lookup(self, bitmap_word_paddr: int) -> Optional[int]:
         """Cached value of the bitmap word, or ``None`` on a miss."""
         if not self.enabled:
-            self.stats.add("bypasses")
+            self._bypasses += 1
             return None
         value = self._lines.get(bitmap_word_paddr)
         if value is None:
-            self.stats.add("misses")
+            self._misses += 1
             return None
         self._lines.move_to_end(bitmap_word_paddr)
-        self.stats.add("hits")
+        self._hits += 1
         return value
 
     def fill(self, bitmap_word_paddr: int, value: int) -> None:
@@ -80,6 +98,7 @@ class BitmapCache:
             (int(addr), int(value)) for addr, value in state["lines"]
         )
         self.stats.load_state(state["stats"])
+        self._hits = self._misses = self._bypasses = 0
 
     def __len__(self) -> int:
         return len(self._lines)

@@ -29,6 +29,8 @@ class DecisionUnit:
         self.costs = costs
         self.raise_irq = raise_irq
         self._checked = 0
+        self._hits = 0
+        self._decision_cost = costs.mbm_decision
         self.stats = StatSet("mbm_decision")
         self.stats.flush_hook = self._flush_pending
         self.busy_cycles = 0
@@ -37,6 +39,9 @@ class DecisionUnit:
         if self._checked:
             checked, self._checked = self._checked, 0
             self.stats.add("checked", checked)
+        if self._hits:
+            hits, self._hits = self._hits, 0
+            self.stats.add("hits", hits)
 
     def state_dict(self) -> dict:
         return {
@@ -48,16 +53,17 @@ class DecisionUnit:
         self.busy_cycles = int(state["busy_cycles"])
         self.stats.load_state(state["stats"])
         self._checked = 0
+        self._hits = 0
 
     def decide(
         self, paddr: int, value: Optional[int], bitmap_word: int, bit: int
     ) -> bool:
         """Process one captured event; True when it was a monitored hit."""
-        self.busy_cycles += self.costs.mbm_decision
+        self.busy_cycles += self._decision_cost
         self._checked += 1
         if not (bitmap_word >> bit) & 1:
             return False
-        self.stats.add("hits")
+        self._hits += 1
         if not self.ring.produce(paddr, value):
             self.stats.add("lost_events")
         if self.raise_irq is not None:

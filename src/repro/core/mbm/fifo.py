@@ -29,26 +29,52 @@ class CaptureFifo:
         self._entries: Deque[FifoEntry] = deque()
         self.overrun = False
         self.stats = StatSet("mbm_fifo")
+        self.stats.flush_hook = self._flush_pending
+        # Batched hot-path counters (see StatSet docs).  ``max_depth``
+        # is a high-water mark, not an increment: ``_max_seen`` tracks
+        # the deepest occupancy ever, ``_max_flushed`` how much of it
+        # the StatSet already holds — the flush adds the difference.
+        self._pushed = 0
+        self._popped = 0
+        self._dropped = 0
+        self._max_seen = 0
+        self._max_flushed = 0
+
+    def _flush_pending(self) -> None:
+        stats = self.stats
+        if self._pushed:
+            pushed, self._pushed = self._pushed, 0
+            stats.add("pushed", pushed)
+        if self._popped:
+            popped, self._popped = self._popped, 0
+            stats.add("popped", popped)
+        if self._dropped:
+            dropped, self._dropped = self._dropped, 0
+            stats.add("dropped", dropped)
+        if self._max_seen > self._max_flushed:
+            stats.add("max_depth", self._max_seen - self._max_flushed)
+            self._max_flushed = self._max_seen
 
     def push(self, paddr: int, value: Optional[int]) -> bool:
         """Capture one event; returns False (and sets the overrun flag)
         when the FIFO is full and the event is lost."""
-        if len(self._entries) >= self.depth:
+        entries = self._entries
+        if len(entries) >= self.depth:
             self.overrun = True
-            self.stats.add("dropped")
+            self._dropped += 1
             return False
-        self._entries.append((paddr, value))
-        self.stats.add("pushed")
-        high = len(self._entries)
-        if high > self.stats.get("max_depth"):
-            self.stats.add("max_depth", high - self.stats.get("max_depth"))
+        entries.append((paddr, value))
+        self._pushed += 1
+        high = len(entries)
+        if high > self._max_seen:
+            self._max_seen = high
         return True
 
     def pop(self) -> Optional[FifoEntry]:
         """Remove and return the oldest event, or ``None`` when empty."""
         if not self._entries:
             return None
-        self.stats.add("popped")
+        self._popped += 1
         return self._entries.popleft()
 
     def __len__(self) -> int:
@@ -72,3 +98,8 @@ class CaptureFifo:
         )
         self.overrun = bool(state["overrun"])
         self.stats.load_state(state["stats"])
+        self._pushed = self._popped = self._dropped = 0
+        # The serialized max_depth is both "seen" and "flushed".
+        self._max_seen = self._max_flushed = int(
+            state["stats"].get("max_depth", 0)
+        )

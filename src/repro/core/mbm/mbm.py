@@ -52,6 +52,8 @@ class MemoryBusMonitor:
         self.irq_coalesce = irq_coalesce
         self._undelivered = 0
         self.stats = StatSet("mbm")
+        self.stats.flush_hook = self._flush_pending
+        self._irqs_raised = 0  # batched hot-path counter (see StatSet docs)
         self.tamper_alert = EventHook("mbm_tamper")
 
         # ---- secure-memory layout -------------------------------------
@@ -82,7 +84,13 @@ class MemoryBusMonitor:
         self.decision = DecisionUnit(self.ring, costs, raise_irq)
         self.snooper = BusTrafficSnooper(self)
         self._costs = costs
+        self._snoop_cost = costs.mbm_snoop
         self._attached = False
+
+    def _flush_pending(self) -> None:
+        if self._irqs_raised:
+            raised, self._irqs_raised = self._irqs_raised, 0
+            self.stats.add("irqs_raised", raised)
 
     # ------------------------------------------------------------------
     # Checkpoint/restore
@@ -103,6 +111,7 @@ class MemoryBusMonitor:
 
     def load_state(self, state: dict) -> None:
         self._undelivered = int(state["undelivered"])
+        self._irqs_raised = 0
         self.fifo.load_state(state["fifo"])
         self.ring.load_state(state["ring"])
         self.bitmap_cache.load_state(state["bitmap_cache"])
@@ -145,14 +154,14 @@ class MemoryBusMonitor:
             self.stats.add("irqs_coalesced")
             return
         self._undelivered = 0
-        self.stats.add("irqs_raised")
+        self._irqs_raised += 1
         self.platform.gic.raise_irq(MBM_IRQ)
 
     def flush_events(self) -> None:
         """Deliver any detections held back by interrupt coalescing."""
         if self._undelivered:
             self._undelivered = 0
-            self.stats.add("irqs_raised")
+            self._irqs_raised += 1
             self.platform.gic.raise_irq(MBM_IRQ)
 
     # ------------------------------------------------------------------
@@ -160,7 +169,7 @@ class MemoryBusMonitor:
     # ------------------------------------------------------------------
     def capture(self, paddr: int, value: Optional[int]) -> None:
         """One word write: FIFO -> translate -> decide."""
-        self.translator.busy_cycles += self._costs.mbm_snoop
+        self.translator.busy_cycles += self._snoop_cost
         if not self.fifo.push(paddr, value):
             self.stats.add("fifo_drops")
             return
@@ -174,7 +183,7 @@ class MemoryBusMonitor:
         """A modelled burst of sequential writes: the translator fetches
         each covering bitmap word once and the decision unit walks the
         set bits (values are unavailable for block-modelled streams)."""
-        self.translator.busy_cycles += self._costs.mbm_snoop
+        self.translator.busy_cycles += self._snoop_cost
         for word_addr, mask in self.bitmap.words_for_range(
             paddr, nwords * WORD_BYTES
         ):

@@ -40,9 +40,16 @@ class EventRingBuffer:
         self.base = base_paddr
         self.entries = entries
         self.stats = StatSet("mbm_ring")
+        self.stats.flush_hook = self._flush_pending
+        self._produced = 0  # batched hot-path counter (see StatSet docs)
         # Reset indices in memory (device initialization).
         bus.poke(self.base, 0)
         bus.poke(self.base + WORD_BYTES, 0)
+
+    def _flush_pending(self) -> None:
+        if self._produced:
+            produced, self._produced = self._produced, 0
+            self.stats.add("produced", produced)
 
     @property
     def size_bytes(self) -> int:
@@ -54,6 +61,7 @@ class EventRingBuffer:
 
     def load_state(self, state: dict) -> None:
         self.stats.load_state(state["stats"])
+        self._produced = 0
 
     def _entry_addr(self, index: int) -> int:
         return self.base + (_HEADER_WORDS + (index % self.entries) * _ENTRY_WORDS) * WORD_BYTES
@@ -67,21 +75,23 @@ class EventRingBuffer:
         The MBM's stores do not stall the CPU (charge=False) but are
         real bus transactions into the secure region.
         """
-        head = self.bus.peek(self.base)
-        tail = self.bus.peek(self.base + WORD_BYTES)
+        bus = self.bus
+        base = self.base
+        head = bus.peek(base)
+        tail = bus.peek(base + WORD_BYTES)
         if head - tail >= self.entries:
             self.stats.add("overflow_drops")
             return False
         entry = self._entry_addr(head)
-        self.bus.write(entry, addr, initiator="mbm", charge=False)
-        self.bus.write(
+        bus.write(entry, addr, initiator="mbm", charge=False)
+        bus.write(
             entry + WORD_BYTES,
             value if value is not None else (1 << 64) - 1,
             initiator="mbm",
             charge=False,
         )
-        self.bus.write(self.base, head + 1, initiator="mbm", charge=False)
-        self.stats.add("produced")
+        bus.write(base, head + 1, initiator="mbm", charge=False)
+        self._produced += 1
         return True
 
     # ------------------------------------------------------------------

@@ -31,13 +31,26 @@ class BusTrafficSnooper:
     def __init__(self, mbm: "MemoryBusMonitor"):
         self.mbm = mbm
         self._observed = 0
+        self._captured = 0
         self.stats = StatSet("mbm_snooper")
         self.stats.flush_hook = self._flush_pending
+        # The snooper runs once per bus transaction — the hottest call
+        # site in a monitored system.  The pipeline objects it forwards
+        # to are created once and mutated in place (load_state included),
+        # so their bound methods and the bitmap geometry can be captured
+        # here instead of chased through ``self.mbm`` on every event.
+        self._bitmap_lo, self._bitmap_hi = mbm.bitmap_storage
+        self._covers = mbm.bitmap.covers
+        self._snoop_update = mbm.bitmap_cache.snoop_update
+        self._capture = mbm.capture
 
     def _flush_pending(self) -> None:
         if self._observed:
             observed, self._observed = self._observed, 0
             self.stats.add("observed", observed)
+        if self._captured:
+            captured, self._captured = self._captured, 0
+            self.stats.add("captured", captured)
 
     def state_dict(self) -> dict:
         return {"stats": self.stats.state_dict()}
@@ -45,34 +58,36 @@ class BusTrafficSnooper:
     def load_state(self, state: dict) -> None:
         self.stats.load_state(state["stats"])
         self._observed = 0
+        self._captured = 0
 
     def __call__(self, txn: BusTransaction) -> None:
         """Observe one bus transaction (installed as a bus snooper)."""
-        mbm = self.mbm
         initiator = txn.initiator
         if initiator == "mbm":
             return  # our own bitmap fetches / ring stores
         self._observed += 1
-        # Secure-region tamper detection (DMA attack, Discussion section).
         if initiator != "cpu" and txn.is_write_like:
+            # Secure-region tamper detection (DMA attack, Discussion).
             if self._overlaps_secure(txn):
                 self.stats.add("secure_tamper_writes")
-                mbm.tamper_alert.fire(txn)
-        if txn.kind is TxnKind.WRITE:
-            if mbm.bitmap_storage[0] <= txn.paddr < mbm.bitmap_storage[1]:
+                self.mbm.tamper_alert.fire(txn)
+        kind = txn.kind
+        if kind is TxnKind.WRITE:
+            paddr = txn.paddr
+            if self._bitmap_lo <= paddr < self._bitmap_hi:
                 # Hypersec updating the bitmap: write-update the cache.
-                mbm.bitmap_cache.snoop_update(txn.paddr, txn.value or 0)
+                self._snoop_update(paddr, txn.value or 0)
                 return
-            if mbm.bitmap.covers(txn.paddr):
-                self.stats.add("captured")
-                mbm.capture(txn.paddr, txn.value)
-        elif txn.kind is TxnKind.BLOCK_WRITE:
-            if mbm.bitmap.covers(txn.paddr):
+            if self._covers(paddr):
+                self._captured += 1
+                self._capture(paddr, txn.value)
+        elif kind is TxnKind.BLOCK_WRITE:
+            if self._covers(txn.paddr):
                 self.stats.add("captured_blocks")
-                mbm.capture_block(txn.paddr, txn.nwords)
-        elif txn.kind is TxnKind.WRITEBACK:
-            if mbm.bitmap.covers(txn.paddr):
-                mbm.note_writeback(txn.paddr, txn.nwords)
+                self.mbm.capture_block(txn.paddr, txn.nwords)
+        elif kind is TxnKind.WRITEBACK:
+            if self._covers(txn.paddr):
+                self.mbm.note_writeback(txn.paddr, txn.nwords)
 
     def _overlaps_secure(self, txn: BusTransaction) -> bool:
         secure_base, secure_limit = self.mbm.secure_range

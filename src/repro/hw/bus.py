@@ -144,8 +144,11 @@ class MemoryBus:
             self.clock.advance(cycles)
         value = self.memory.read_word(paddr)
         self._reads += 1
-        if self._snoopers:
-            self._notify(BusTransaction(TxnKind.READ, paddr, None, 1, initiator))
+        snoopers = self._snoopers
+        if snoopers:
+            txn = BusTransaction(TxnKind.READ, paddr, None, 1, initiator)
+            for snooper in snoopers:
+                snooper(txn)
         return value
 
     def write(
@@ -157,8 +160,11 @@ class MemoryBus:
             self.clock.advance(cycles)
         self.memory.write_word(paddr, value)
         self._writes += 1
-        if self._snoopers:
-            self._notify(BusTransaction(TxnKind.WRITE, paddr, value, 1, initiator))
+        snoopers = self._snoopers
+        if snoopers:
+            txn = BusTransaction(TxnKind.WRITE, paddr, value, 1, initiator)
+            for snooper in snoopers:
+                snooper(txn)
 
     # ------------------------------------------------------------------
     # Line transfers (cache hierarchy)

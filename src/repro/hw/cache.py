@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
-from repro.config import LINE_BYTES, PAGE_BYTES, CostModel
+from repro.config import LINE_BYTES, PAGE_BYTES, WORD_BYTES, CostModel
 from repro.errors import ConfigurationError
 from repro.hw.bus import MemoryBus
 from repro.utils.bitops import align_down
@@ -254,7 +254,7 @@ class CacheHierarchy:
             return
         line_bytes = self.l1.line_bytes
         first = paddr & self._line_mask
-        last = (paddr + (nwords - 1) * 8) & self._line_mask
+        last = (paddr + (nwords - 1) * WORD_BYTES) & self._line_mask
         for line in range(first, last + 1, line_bytes):
             if is_write:
                 self._install_dirty(line)

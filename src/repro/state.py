@@ -258,25 +258,40 @@ def restore_system(
 ):
     """Rebuild a live system from a snapshot file.
 
-    The skeleton is rebuilt from the recorded recipe (all wiring, no
-    boot), the memory image is loaded first — overwriting any pokes the
-    skeleton construction made — and then every component's state dict
-    is applied.  The returned system is indistinguishable, cycle for
-    cycle and counter for counter, from the one that was captured.
+    Convenience wrapper: :func:`load_snapshot` followed by
+    :func:`restore_from_snapshot`.
     """
-    from repro.core.hypernel import _BUILDERS
-    from repro.security.registry import monitor_from_spec
-
     snapshot = load_snapshot(path)
     if expect_hash is not None and snapshot.content_hash != expect_hash:
         raise SnapshotError(
             f"{path}: content hash {snapshot.content_hash[:12]}… does not "
             f"match the expected {expect_hash[:12]}…"
         )
+    return restore_from_snapshot(snapshot)
+
+
+def restore_from_snapshot(snapshot: Snapshot):
+    """Rebuild a live system from an already-decoded :class:`Snapshot`.
+
+    The skeleton is rebuilt from the recorded recipe (all wiring, no
+    boot), the memory image is loaded first — overwriting any pokes the
+    skeleton construction made — and then every component's state dict
+    is applied.  The returned system is indistinguishable, cycle for
+    cycle and counter for counter, from the one that was captured.
+
+    This is the in-memory entry point: long-lived processes (the
+    fork-server execution backend, repeated restores in tests) decode a
+    snapshot file once with :func:`load_snapshot` and then materialize
+    any number of live systems from it without touching disk again.
+    The snapshot object itself is not consumed or mutated.
+    """
+    from repro.core.hypernel import _BUILDERS
+    from repro.security.registry import monitor_from_spec
+
     recipe = snapshot.manifest["recipe"]
     name = recipe["system"]
     if name not in _BUILDERS:
-        raise SnapshotError(f"{path}: unknown system {name!r} in recipe")
+        raise SnapshotError(f"unknown system {name!r} in snapshot recipe")
     monitors = [monitor_from_spec(spec) for spec in recipe["monitors"]]
     kwargs: Dict[str, Any] = dict(recipe["kwargs"])
     if name == "kvm-guest":
@@ -316,7 +331,7 @@ def restore_system(
     monitor_states = sections.get("monitors", [])
     if len(monitor_states) != len(system.monitors):
         raise SnapshotError(
-            f"{path}: {len(monitor_states)} monitor states for "
+            f"snapshot carries {len(monitor_states)} monitor states for "
             f"{len(system.monitors)} rebuilt monitors"
         )
     for app, state in zip(system.monitors, monitor_states):

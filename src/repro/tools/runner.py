@@ -16,11 +16,15 @@ machinery:
     picklable; they are shipped whole to worker processes.
 
 :func:`run_cells`
-    Fans cells out over a ``ProcessPoolExecutor`` with a per-job
-    timeout, one retry on worker failure, and a graceful serial
-    fallback when ``jobs=1`` or a pool cannot be created.  Results come
-    back in cell order, so merging is deterministic and the merged
-    tables are byte-identical to the serial path.
+    Fans cells out over one of three interchangeable backends — the
+    fork server (persistent warm workers, copy-on-write machine
+    images; see :mod:`repro.tools.forkserver`), a
+    ``ProcessPoolExecutor``, or in-process serial execution — with a
+    per-job timeout, one retry on worker failure, and graceful
+    degradation (``forkserver`` → ``pool`` → ``serial``) on platforms
+    that cannot support the faster path.  Results come back in cell
+    order, so merging is deterministic and the merged tables are
+    byte-identical across backends.
 
 :class:`CellCache`
     A content-addressed on-disk cache (default ``benchmarks/.cache/``).
@@ -43,6 +47,7 @@ import hashlib
 import json
 import os
 import pathlib
+import signal
 import time
 from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
@@ -79,6 +84,34 @@ KIND_BUILDERS: Dict[str, str] = {
     "figure6": "repro.analysis.figures:cell_build_args",
     "table2": "repro.analysis.monitoring:cell_build_args",
 }
+
+#: cell kind -> "module:function" building the pristine machine for a
+#: cell's environment (``cell_system``).  A fork server constructs this
+#: prototype once and forks a copy-on-write child per cell.
+KIND_PROTOTYPES: Dict[str, str] = {
+    "table1": "repro.analysis.tables:cell_system",
+    "figure6": "repro.analysis.figures:cell_system",
+    "table2": "repro.analysis.monitoring:cell_system",
+}
+
+#: cell kind -> "module:function" running a cell's workload body on an
+#: already-built system (``execute_cell_on``).  The fork-server child
+#: entry point; the serial/pool paths reach the same body through
+#: :data:`KIND_EXECUTORS`.
+KIND_ON_SYSTEM: Dict[str, str] = {
+    "table1": "repro.analysis.tables:execute_cell_on",
+    "figure6": "repro.analysis.figures:execute_cell_on",
+    "table2": "repro.analysis.monitoring:execute_cell_on",
+}
+
+#: Valid values for ``run_cells(backend=...)`` and ``REPRO_BENCH_BACKEND``.
+BACKENDS = ("auto", "forkserver", "pool", "serial")
+
+
+def resolve_hook(target: str) -> Callable:
+    """Resolve a ``"module:function"`` registry entry to the callable."""
+    module_name, _, func_name = target.partition(":")
+    return getattr(import_module(module_name), func_name)
 
 
 class RunnerError(RuntimeError):
@@ -154,6 +187,16 @@ def execute_selftest_cell(cell: Cell) -> Dict[str, Any]:
     if mode == "sleep":
         time.sleep(float(cell.spec.get("seconds", 1.0)))
         return {"value": "slept", "accesses": 0, "sim_cycles": 0}
+    if mode == "kill_until_marker":
+        # Process-backend fault injection: SIGKILL the worker mid-cell
+        # on the first attempt (no exception, no cleanup — the worker
+        # just vanishes).  Only meaningful under forkserver/pool; in a
+        # serial run this would kill the caller.
+        marker = pathlib.Path(cell.spec["marker"])
+        if not marker.exists():
+            marker.write_text("first attempt killed\n")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return {"value": "ok after respawn", "accesses": 0, "sim_cycles": 0}
     raise RunnerError(f"unknown selftest mode {mode!r}", cell)
 
 
@@ -250,6 +293,79 @@ class CellCache:
 
 
 # ----------------------------------------------------------------------
+# Cache maintenance (python -m repro cache {info,prune})
+# ----------------------------------------------------------------------
+def cache_contents(
+    directory: Optional[os.PathLike | str] = None,
+) -> Dict[str, Any]:
+    """Inventory of the on-disk cache: result entries and boot snapshots.
+
+    Returns ``{"directory", "entries", "total_bytes"}`` where each entry
+    is ``{"path", "kind", "bytes", "mtime"}`` (kind is ``result`` for
+    ``*.json`` payloads, ``snapshot`` for ``snapshots/*.snap`` images).
+    """
+    base = (pathlib.Path(directory) if directory is not None
+            else default_cache_dir())
+    entries: List[Dict[str, Any]] = []
+    for path in sorted(base.glob("*.json")) + sorted(
+        (base / "snapshots").glob("*.snap")
+    ):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue  # raced with a concurrent prune
+        entries.append({
+            "path": str(path),
+            "kind": "snapshot" if path.suffix == ".snap" else "result",
+            "bytes": stat.st_size,
+            "mtime": stat.st_mtime,
+        })
+    return {
+        "directory": str(base),
+        "entries": entries,
+        "total_bytes": sum(entry["bytes"] for entry in entries),
+    }
+
+
+def prune_cache(
+    directory: Optional[os.PathLike | str] = None,
+    max_age_days: Optional[float] = None,
+    max_bytes: Optional[int] = None,
+    now: Optional[float] = None,
+) -> List[str]:
+    """Delete stale cache entries; returns the paths removed.
+
+    Entries older than ``max_age_days`` go first; then, if the survivors
+    still exceed ``max_bytes``, the oldest are evicted until the total
+    fits.  Content-addressing makes eviction always safe — a pruned
+    entry is simply recomputed (or the snapshot re-booted) on next use.
+    """
+    inventory = cache_contents(directory)
+    cutoff = (time.time() if now is None else now)
+    doomed: List[Dict[str, Any]] = []
+    kept: List[Dict[str, Any]] = []
+    for entry in inventory["entries"]:
+        if (max_age_days is not None
+                and cutoff - entry["mtime"] > max_age_days * 86400.0):
+            doomed.append(entry)
+        else:
+            kept.append(entry)
+    if max_bytes is not None:
+        kept.sort(key=lambda entry: entry["mtime"])  # oldest first
+        total = sum(entry["bytes"] for entry in kept)
+        while kept and total > max_bytes:
+            evicted = kept.pop(0)
+            total -= evicted["bytes"]
+            doomed.append(evicted)
+    for entry in doomed:
+        try:
+            pathlib.Path(entry["path"]).unlink()
+        except OSError:
+            pass
+    return [entry["path"] for entry in doomed]
+
+
+# ----------------------------------------------------------------------
 # Warm-start boot snapshots
 # ----------------------------------------------------------------------
 def attach_boot_snapshots(
@@ -308,6 +424,32 @@ def _default_executor_factory(jobs: int):
     return ProcessPoolExecutor(max_workers=jobs)
 
 
+def _resolve_backend(backend: str, jobs: int, executor_factory) -> str:
+    """Pick the concrete backend: env override > argument > heuristic.
+
+    ``REPRO_BENCH_BACKEND`` wins over the argument (CI uses it to force
+    the pool fallback fleet-wide without threading a flag through every
+    entry point).  ``auto`` resolves to the fork server when the
+    platform can fork and ``jobs > 1``, else to the pool — which itself
+    degrades to serial below (unchanged legacy behavior).  A caller
+    supplying ``executor_factory`` is handed the pool path: the factory
+    *is* pool machinery, and tests use it to observe dispatch.
+    """
+    choice = os.environ.get("REPRO_BENCH_BACKEND") or backend
+    if choice not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {choice!r}; choose from {', '.join(BACKENDS)}"
+        )
+    if choice == "auto":
+        from repro.tools import forkserver
+
+        choice = ("forkserver"
+                  if jobs > 1 and forkserver.fork_available() else "pool")
+    if choice == "forkserver" and executor_factory is not None:
+        choice = "pool"
+    return choice
+
+
 def _run_serial(cell: Cell) -> Dict[str, Any]:
     """Execute in-process with the same one-retry policy as the pool."""
     try:
@@ -331,25 +473,34 @@ def run_cells(
     cache: Optional[CellCache] = None,
     timeout: Optional[float] = DEFAULT_TIMEOUT,
     executor_factory: Optional[Callable[[int], Any]] = None,
+    backend: str = "auto",
 ) -> List[Dict[str, Any]]:
     """Execute every cell and return payloads in cell order.
 
-    * ``jobs > 1`` fans uncached cells out over a process pool
-      (``executor_factory(jobs)``, default ``ProcessPoolExecutor``);
-      ``jobs=1`` — or a pool that cannot be created — runs them
-      serially in-process.  Either way the per-cell code path is
-      identical, so merged results are byte-identical.
+    * ``backend`` selects how uncached cells run: ``forkserver``
+      (persistent warm server per environment, one copy-on-write child
+      per cell — see :mod:`repro.tools.forkserver`), ``pool``
+      (``executor_factory(jobs)``, default ``ProcessPoolExecutor``),
+      ``serial`` (in-process), or ``auto`` (fork server when the
+      platform can fork and ``jobs > 1``, else pool).  The
+      ``REPRO_BENCH_BACKEND`` environment variable overrides the
+      argument.  Each step degrades gracefully: no ``fork`` → pool,
+      no pool (or ``jobs=1``, or a single pending cell) → serial.
+      The per-cell workload body is identical on every backend, so
+      merged results are byte-identical.
     * A cell whose worker raises (or whose pool breaks) is retried once
-      in-process; a second failure raises :class:`RunnerError` naming
+      — in-process for the pool, from the pristine parent image for the
+      fork server; a second failure raises :class:`RunnerError` naming
       the cell.  A job exceeding ``timeout`` seconds raises
       :class:`RunnerError` immediately — a hung worker cannot be
-      retried without leaking the pool.
+      retried without leaking it.
     * With a ``cache``, cacheable cells are looked up first and
       computed payloads are stored back; a fully warm cache dispatches
-      zero jobs (``executor_factory`` is never called).
+      zero jobs (no backend process is ever started).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be positive, got {jobs}")
+    resolved = _resolve_backend(backend, jobs, executor_factory)
     results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
     pending: List[int] = []
     for index, cell in enumerate(cells):
@@ -360,8 +511,23 @@ def run_cells(
             pending.append(index)
 
     if pending:
+        if resolved == "forkserver":
+            from repro.tools import forkserver
+
+            try:
+                payloads = forkserver.run_pending(cells, pending, jobs, timeout)
+            except forkserver.ForkServerUnavailable:
+                resolved = "pool"  # platform cannot fork: degrade
+            else:
+                for index in pending:
+                    results[index] = payloads[index]
+                if cache is not None:
+                    for index in pending:
+                        cache.store(cells[index], results[index])
+                return results  # type: ignore[return-value]
+
         pool = None
-        if jobs > 1 and len(pending) > 1:
+        if resolved == "pool" and jobs > 1 and len(pending) > 1:
             factory = executor_factory or _default_executor_factory
             try:
                 pool = factory(min(jobs, len(pending)))

@@ -61,6 +61,24 @@ class TestCli:
         assert "--jobs" in out
         assert "--no-cache" in out
 
+    def test_table1_advertises_backend_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--backend" in out
+        assert "forkserver" in out
+
+    def test_table2_explicit_serial_backend(self, capsys):
+        assert main(["table2", *SCALED, "--no-cache",
+                     "--backend", "serial"]) == 0
+        assert "overall word/page ratio" in capsys.readouterr().out
+
+    def test_backend_rejects_unknown_choice(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table2", *SCALED, "--backend", "warpdrive"])
+        assert "--backend" in capsys.readouterr().err
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
@@ -68,3 +86,62 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCacheCommand:
+    def _seed(self, tmp_path):
+        import os
+
+        (tmp_path / "aaaa.json").write_bytes(b"r" * 64)
+        (tmp_path / "snapshots").mkdir()
+        (tmp_path / "snapshots" / "img.snap").write_bytes(b"s" * 256)
+        stale = tmp_path / "bbbb.json"
+        stale.write_bytes(b"r" * 64)
+        ancient = 1_000_000_000.0  # 2001: older than any --max-age
+        os.utime(stale, (ancient, ancient))
+
+    def test_cache_info_summarizes_kinds(self, capsys, tmp_path):
+        self._seed(tmp_path)
+        assert main(["cache", "info", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "result entries: 2 (128 bytes)" in out
+        assert "boot snapshots: 1 (256 bytes)" in out
+        assert "total: 3 files, 384 bytes" in out
+
+    def test_cache_info_verbose_lists_entries(self, capsys, tmp_path):
+        self._seed(tmp_path)
+        assert main(["cache", "info", "--dir", str(tmp_path),
+                     "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "img.snap" in out
+        assert "aaaa.json" in out
+
+    def test_cache_info_empty_directory(self, capsys, tmp_path):
+        assert main(["cache", "info", "--dir",
+                     str(tmp_path / "missing")]) == 0
+        assert "total: 0 files, 0 bytes" in capsys.readouterr().out
+
+    def test_cache_prune_by_age(self, capsys, tmp_path):
+        self._seed(tmp_path)
+        assert main(["cache", "prune", "--dir", str(tmp_path),
+                     "--max-age", "365"]) == 0
+        out = capsys.readouterr().out
+        assert "bbbb.json" in out
+        assert "pruned 1 entries; 2 remain" in out
+        assert not (tmp_path / "bbbb.json").exists()
+        assert (tmp_path / "aaaa.json").exists()
+
+    def test_cache_prune_by_bytes(self, capsys, tmp_path):
+        self._seed(tmp_path)
+        # 384 bytes on disk, 300 allowed: the two oldest entries go.
+        assert main(["cache", "prune", "--dir", str(tmp_path),
+                     "--max-bytes", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        from repro.tools.runner import cache_contents
+
+        assert cache_contents(tmp_path)["total_bytes"] <= 300
+
+    def test_cache_requires_action(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])

@@ -1,0 +1,339 @@
+"""Fork-server backend: COW warm workers, retries, fallbacks, equivalence.
+
+The contract (ISSUE 4, DESIGN.md §5d): the fork server must be
+observationally identical to the pool and serial backends — same
+payloads byte-for-byte, same retry-once policy, same timeout errors —
+while a platform that cannot fork (or ``REPRO_BENCH_BACKEND=pool``)
+silently degrades to the pool path.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.figures import run_figure6
+from repro.analysis.monitoring import run_table2
+from repro.analysis.tables import run_table1
+from repro.config import PlatformConfig
+from repro.tools import forkserver
+from repro.tools import runner
+from repro.tools.runner import Cell, RunnerError, run_cells
+
+REDUCED_OPS = ["syscall stat", "signal install", "mmap"]
+
+pytestmark = pytest.mark.skipif(
+    not forkserver.fork_available(),
+    reason="fork-server backend needs os.fork",
+)
+
+
+def small_platform_config():
+    return PlatformConfig(
+        dram_bytes=64 * 1024 * 1024, secure_bytes=8 * 1024 * 1024
+    )
+
+
+def echo_cell(name, value):
+    return Cell(
+        kind="selftest",
+        environment=name,
+        workload="echo",
+        spec={"mode": "echo", "value": value},
+        cacheable=False,
+    )
+
+
+def live_children():
+    """PIDs of this process's direct children (Linux /proc), or None.
+
+    Unrelated long-lived children (multiprocessing's resource tracker,
+    pytest plumbing) show up too — callers compare before/after sets
+    rather than expecting emptiness.
+    """
+    children = set()
+    try:
+        for tid in os.listdir("/proc/self/task"):
+            with open(f"/proc/self/task/{tid}/children") as handle:
+                children.update(int(pid) for pid in handle.read().split())
+    except OSError:
+        return None
+    return children
+
+
+@pytest.fixture
+def no_backend_env(monkeypatch):
+    """Tests pin ``backend=`` explicitly; a stray env var must not win."""
+    monkeypatch.delenv("REPRO_BENCH_BACKEND", raising=False)
+
+
+# ----------------------------------------------------------------------
+# Basic dispatch and ordering
+# ----------------------------------------------------------------------
+class TestDispatch:
+    def test_payloads_come_back_in_cell_order(self, no_backend_env):
+        cells = [echo_cell(f"c{i}", i * 11) for i in range(7)]
+        payloads = run_cells(cells, jobs=3, backend="forkserver")
+        assert [p["value"] for p in payloads] == [i * 11 for i in range(7)]
+
+    def test_single_cell_single_job(self, no_backend_env):
+        [payload] = run_cells([echo_cell("solo", "x")], jobs=1,
+                              backend="forkserver")
+        assert payload["value"] == "x"
+
+    def test_no_leaked_children_after_run(self, no_backend_env):
+        before = live_children()
+        if before is None:
+            pytest.skip("needs /proc children accounting")
+        run_cells([echo_cell(f"c{i}", i) for i in range(4)], jobs=2,
+                  backend="forkserver")
+        # Every server (and grandchild) was stopped and reaped.
+        assert live_children() <= before
+
+
+# ----------------------------------------------------------------------
+# Failure contract: retry once from the pristine parent image
+# ----------------------------------------------------------------------
+class TestFailures:
+    def test_worker_killed_mid_cell_is_retried_from_pristine_parent(
+        self, tmp_path, no_backend_env
+    ):
+        cells = [
+            Cell(kind="selftest", environment=f"victim{i}", workload="kill",
+                 spec={"mode": "kill_until_marker",
+                       "marker": str(tmp_path / f"victim{i}.marker")},
+                 cacheable=False)
+            for i in range(2)
+        ]
+        payloads = run_cells(cells, jobs=2, backend="forkserver")
+        assert [p["value"] for p in payloads] == ["ok after respawn"] * 2
+        for i in range(2):
+            assert (tmp_path / f"victim{i}.marker").exists()
+
+    def test_transient_exception_is_retried_once(self, tmp_path,
+                                                 no_backend_env):
+        cells = [
+            Cell(kind="selftest", environment=f"flaky{i}", workload="fault",
+                 spec={"mode": "fail_until_marker",
+                       "marker": str(tmp_path / f"flaky{i}.marker")},
+                 cacheable=False)
+            for i in range(3)
+        ]
+        payloads = run_cells(cells, jobs=3, backend="forkserver")
+        assert [p["value"] for p in payloads] == ["ok after retry"] * 3
+
+    def test_persistent_failure_names_the_lowest_indexed_cell(
+        self, no_backend_env
+    ):
+        cells = [
+            Cell(kind="selftest", environment=name, workload="fault",
+                 spec={"mode": "fail"}, cacheable=False)
+            for name in ("one", "two", "three")
+        ]
+        with pytest.raises(RunnerError, match=r"selftest:one:fault"):
+            run_cells(cells, jobs=3, backend="forkserver")
+
+    def test_timeout_raises_runner_error_naming_cell(self, no_backend_env):
+        cells = [
+            Cell(kind="selftest", environment=f"sleepy{i}", workload="nap",
+                 spec={"mode": "sleep", "seconds": 5.0}, cacheable=False)
+            for i in range(2)
+        ]
+        before = live_children()
+        with pytest.raises(RunnerError, match=r"selftest:sleepy\d:nap.*timed out"):
+            run_cells(cells, jobs=2, backend="forkserver", timeout=0.3)
+        # The killed server group must still be fully reaped.
+        if before is not None:
+            assert live_children() <= before
+
+    def test_environment_build_failure_demotes_to_serial_error(
+        self, no_backend_env
+    ):
+        # An unknown system name fails in the server's prototype build;
+        # the cell is demoted to serial, which fails loudly too — the
+        # contract is "surface the error", never "hang".
+        cell = Cell(kind="table1", environment="no-such-system",
+                    workload="table1", spec={"ops": REDUCED_OPS},
+                    platform_config=small_platform_config(),
+                    cacheable=False)
+        with pytest.raises(RunnerError, match=r"table1:no-such-system"):
+            run_cells([cell, echo_cell("bystander", 1)], jobs=2,
+                      backend="forkserver")
+
+
+# ----------------------------------------------------------------------
+# Fallback matrix: forkserver -> pool -> serial
+# ----------------------------------------------------------------------
+class TestFallbacks:
+    def test_fork_unavailable_falls_back_to_pool(self, monkeypatch,
+                                                 no_backend_env):
+        monkeypatch.setattr(forkserver, "fork_available", lambda: False)
+        created = []
+        real_factory = runner._default_executor_factory
+
+        def spying_factory(jobs):
+            pool = real_factory(jobs)
+            created.append(jobs)
+            return pool
+
+        monkeypatch.setattr(runner, "_default_executor_factory",
+                            spying_factory)
+        cells = [echo_cell(f"c{i}", i) for i in range(3)]
+        payloads = run_cells(cells, jobs=2, backend="forkserver")
+        assert [p["value"] for p in payloads] == [0, 1, 2]
+        assert created == [2]  # the pool backend actually ran
+
+    def test_auto_resolves_to_pool_when_fork_unavailable(self, monkeypatch,
+                                                         no_backend_env):
+        monkeypatch.setattr(forkserver, "fork_available", lambda: False)
+        assert runner._resolve_backend("auto", jobs=4,
+                                       executor_factory=None) == "pool"
+
+    def test_auto_resolves_to_forkserver_on_posix_multijob(
+        self, no_backend_env
+    ):
+        assert runner._resolve_backend("auto", jobs=4,
+                                       executor_factory=None) == "forkserver"
+        # jobs=1 has nothing to fan out: the pool path (which itself
+        # degrades to serial at jobs=1) is the resolution.
+        assert runner._resolve_backend("auto", jobs=1,
+                                       executor_factory=None) == "pool"
+
+    def test_env_var_forces_pool_over_forkserver_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "pool")
+
+        def exploding_run_pending(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("forkserver must not run under "
+                                 "REPRO_BENCH_BACKEND=pool")
+
+        monkeypatch.setattr(forkserver, "run_pending", exploding_run_pending)
+        cells = [echo_cell(f"c{i}", i) for i in range(2)]
+        payloads = run_cells(cells, jobs=2, backend="forkserver")
+        assert [p["value"] for p in payloads] == [0, 1]
+
+    def test_env_var_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "serial")
+
+        def exploding_factory(jobs):  # pragma: no cover - must not run
+            raise AssertionError("serial backend must not create a pool")
+
+        monkeypatch.setattr(runner, "_default_executor_factory",
+                            exploding_factory)
+        payloads = run_cells([echo_cell("a", 1), echo_cell("b", 2)],
+                             jobs=4, backend="forkserver")
+        assert [p["value"] for p in payloads] == [1, 2]
+
+    def test_executor_factory_callers_keep_the_pool_path(self, no_backend_env):
+        # test_runner_cache-style callers observe dispatch through the
+        # factory; handing them the fork server would blind them.
+        assert runner._resolve_backend(
+            "forkserver", jobs=2, executor_factory=object()
+        ) == "pool"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_BACKEND", raising=False)
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_cells([], backend="warpdrive")
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "warpdrive")
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_cells([], backend="auto")
+
+    def test_run_pending_raises_unavailable_without_fork(self, monkeypatch):
+        monkeypatch.setattr(forkserver, "fork_available", lambda: False)
+        with pytest.raises(forkserver.ForkServerUnavailable):
+            forkserver.run_pending([echo_cell("a", 1)], [0], 1, None)
+
+
+# ----------------------------------------------------------------------
+# Byte-identical equivalence with the serial backend
+# ----------------------------------------------------------------------
+class TestForkserverEquivalence:
+    def test_table1_forkserver_jobs4_matches_serial_jobs1(
+        self, no_backend_env
+    ):
+        kwargs = dict(platform_factory=small_platform_config,
+                      warmup=2, iterations=4, ops=REDUCED_OPS)
+        serial = run_table1(jobs=1, backend="serial", **kwargs)
+        forked = run_table1(jobs=4, backend="forkserver", **kwargs)
+        assert forked.rows == serial.rows
+        assert forked.format() == serial.format()
+
+    def test_figure6_forkserver_matches_serial(self, no_backend_env):
+        serial = run_figure6(scale=0.02,
+                             platform_factory=small_platform_config,
+                             jobs=1, backend="serial")
+        forked = run_figure6(scale=0.02,
+                             platform_factory=small_platform_config,
+                             jobs=3, backend="forkserver")
+        assert forked.raw_us == serial.raw_us
+        assert forked.normalized == serial.normalized
+        assert forked.format() == serial.format()
+
+    def test_table2_forkserver_matches_serial(self, no_backend_env):
+        serial = run_table2(scale=0.02,
+                            platform_factory=small_platform_config,
+                            jobs=1, backend="serial")
+        forked = run_table2(scale=0.02,
+                            platform_factory=small_platform_config,
+                            jobs=2, backend="forkserver")
+        assert forked.counts == serial.counts
+        assert forked.format() == serial.format()
+
+
+# ----------------------------------------------------------------------
+# Environment grouping
+# ----------------------------------------------------------------------
+class TestEnvironmentKey:
+    def test_same_environment_shares_a_key(self):
+        config = small_platform_config()
+        a = Cell(kind="table1", environment="hypernel", workload="w1",
+                 platform_config=config)
+        b = Cell(kind="table1", environment="hypernel", workload="w2",
+                 platform_config=config)
+        assert forkserver.environment_key(a) == forkserver.environment_key(b)
+        assert forkserver.environment_key(a)[0] == "env"
+
+    def test_different_environment_gets_its_own_server(self):
+        a = Cell(kind="table1", environment="hypernel", workload="w")
+        b = Cell(kind="table1", environment="baseline", workload="w")
+        assert forkserver.environment_key(a) != forkserver.environment_key(b)
+
+    def test_selftest_kind_lands_on_the_generic_server(self):
+        assert forkserver.environment_key(echo_cell("x", 1)) == ("generic",)
+
+    def test_snapshot_path_distinguishes_warm_and_cold(self):
+        cold = Cell(kind="table1", environment="hypernel", workload="w")
+        warm = Cell(kind="table1", environment="hypernel", workload="w",
+                    snapshot_path="/tmp/img.snap")
+        assert (forkserver.environment_key(cold)
+                != forkserver.environment_key(warm))
+
+
+# ----------------------------------------------------------------------
+# Frame protocol
+# ----------------------------------------------------------------------
+class TestFrameProtocol:
+    def test_frames_reassemble_across_arbitrary_chunking(self):
+        import pickle
+        import struct
+
+        payloads = [("ok", 1, {"value": "x" * 1000}), ("stop",)]
+        stream = b"".join(
+            struct.pack(">Q", len(blob)) + blob
+            for blob in (pickle.dumps(p) for p in payloads)
+        )
+        buf = forkserver._FrameBuffer()
+        out = []
+        for i in range(0, len(stream), 7):  # adversarially small chunks
+            out.extend(buf.feed(stream[i:i + 7]))
+        assert out == payloads
+
+    def test_truncated_single_frame_decodes_to_none(self):
+        import pickle
+        import struct
+
+        blob = pickle.dumps(("ok-local", {"value": 1}))
+        whole = struct.pack(">Q", len(blob)) + blob
+        assert forkserver._decode_single_frame(whole) == (
+            "ok-local", {"value": 1})
+        assert forkserver._decode_single_frame(whole[:-1]) is None
+        assert forkserver._decode_single_frame(b"") is None

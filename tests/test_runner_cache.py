@@ -8,6 +8,7 @@ must hit without dispatching any work.
 
 import dataclasses
 import json
+import os
 
 import pytest
 
@@ -16,7 +17,9 @@ from repro.tools.runner import (
     CACHE_SCHEMA,
     Cell,
     CellCache,
+    cache_contents,
     cache_key,
+    prune_cache,
     run_cells,
 )
 
@@ -160,3 +163,69 @@ class TestCacheBehaviour:
         run_cells([cell], cache=cache)
         assert cache.stores == 0
         assert cache.lookup(cell) is None
+
+
+def seed_cache_dir(tmp_path, ages_days):
+    """Fabricate result entries and one boot snapshot with set mtimes.
+
+    ``ages_days`` maps filename stem -> age in days; names starting
+    with ``snap`` become ``snapshots/*.snap`` files.  Every file is
+    100 bytes so byte budgets are easy to reason about.  Returns
+    ``now`` (the reference timestamp the ages are relative to).
+    """
+    now = 1_700_000_000.0
+    (tmp_path / "snapshots").mkdir(exist_ok=True)
+    for stem, age in ages_days.items():
+        if stem.startswith("snap"):
+            path = tmp_path / "snapshots" / f"{stem}.snap"
+        else:
+            path = tmp_path / f"{stem}.json"
+        path.write_bytes(b"x" * 100)
+        stamp = now - age * 86400.0
+        os.utime(path, (stamp, stamp))
+    return now
+
+
+class TestCacheMaintenance:
+    def test_contents_inventories_results_and_snapshots(self, tmp_path):
+        seed_cache_dir(tmp_path, {"aa": 1, "bb": 2, "snap1": 3})
+        inventory = cache_contents(tmp_path)
+        kinds = sorted(e["kind"] for e in inventory["entries"])
+        assert kinds == ["result", "result", "snapshot"]
+        assert inventory["total_bytes"] == 300
+        assert inventory["directory"] == str(tmp_path)
+
+    def test_contents_of_missing_directory_is_empty(self, tmp_path):
+        inventory = cache_contents(tmp_path / "never-created")
+        assert inventory["entries"] == []
+        assert inventory["total_bytes"] == 0
+
+    def test_prune_by_age_removes_only_stale_entries(self, tmp_path):
+        now = seed_cache_dir(tmp_path, {"young": 1, "old": 30, "snapold": 40})
+        removed = prune_cache(tmp_path, max_age_days=7, now=now)
+        assert sorted(os.path.basename(p) for p in removed) == [
+            "old.json", "snapold.snap"]
+        survivors = [e["path"] for e in cache_contents(tmp_path)["entries"]]
+        assert survivors == [str(tmp_path / "young.json")]
+
+    def test_prune_by_bytes_evicts_oldest_first(self, tmp_path):
+        now = seed_cache_dir(tmp_path, {"newest": 1, "middle": 5, "oldest": 9})
+        removed = prune_cache(tmp_path, max_bytes=250, now=now)
+        assert [os.path.basename(p) for p in removed] == ["oldest.json"]
+        removed = prune_cache(tmp_path, max_bytes=100, now=now)
+        assert [os.path.basename(p) for p in removed] == ["middle.json"]
+
+    def test_prune_without_limits_removes_nothing(self, tmp_path):
+        now = seed_cache_dir(tmp_path, {"aa": 1, "snap1": 400})
+        assert prune_cache(tmp_path, now=now) == []
+        assert len(cache_contents(tmp_path)["entries"]) == 2
+
+    def test_pruned_entry_is_recomputed_transparently(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cell = echo_cell(config=small_config())
+        run_cells([cell], cache=cache)
+        assert cache.lookup(cell) is not None
+        prune_cache(tmp_path, max_age_days=0.0, now=9_999_999_999.0)
+        assert cache.lookup(cell) is None  # miss, not an error
+        [payload] = run_cells([cell], cache=cache)  # recomputed cleanly
+        assert payload["value"] == "x"

@@ -28,6 +28,7 @@ from repro.state import (
     capture_snapshot,
     diff_snapshots,
     load_snapshot,
+    restore_from_snapshot,
     restore_system,
     save_snapshot,
     snapshot_info,
@@ -251,6 +252,47 @@ class TestBitIdenticalReplay:
                 suite.run_op("fork+execv")
                 suite.run_op("mmap")
             assert warm.platform.clock.now == cold.platform.clock.now, name
+
+
+class TestInMemoryRestore:
+    """``restore_from_snapshot``: decode once, materialize many.
+
+    The fork-server backend leans on this — a server process decodes
+    the boot image a single time and forks any number of children, so
+    restores from one :class:`Snapshot` must be mutually independent
+    and bit-identical to a from-disk restore.
+    """
+
+    def test_one_decode_materializes_independent_systems(self, tmp_path):
+        path = tmp_path / "boot.snap"
+        save_snapshot(_build_monitored(), path)
+        snapshot = load_snapshot(path)
+        first = restore_from_snapshot(snapshot)
+        second = restore_from_snapshot(snapshot)
+        run_first = _run_scenario(first)
+        # `first` has now mutated its machine; a third restore from the
+        # same decoded snapshot must still start pristine.
+        third = restore_from_snapshot(snapshot)
+        assert _run_scenario(second) == run_first
+        assert _run_scenario(third) == run_first
+        assert run_first["events"] > 0
+
+    def test_restore_does_not_consume_or_mutate_the_snapshot(self, tmp_path):
+        path = tmp_path / "boot.snap"
+        original = save_snapshot(_build_monitored(), path)
+        snapshot = load_snapshot(path)
+        _run_scenario(restore_from_snapshot(snapshot))
+        again = save_snapshot(
+            restore_from_snapshot(snapshot), tmp_path / "again.snap"
+        )
+        assert again.content_hash == original.content_hash
+
+    def test_in_memory_restore_matches_from_disk_restore(self, tmp_path):
+        path = tmp_path / "boot.snap"
+        save_snapshot(_build_monitored(), path)
+        via_disk = _run_scenario(restore_system(path))
+        via_memory = _run_scenario(restore_from_snapshot(load_snapshot(path)))
+        assert via_memory == via_disk
 
 
 class TestWarmStartCells:
