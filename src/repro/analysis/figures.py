@@ -27,6 +27,9 @@ class Figure6Result:
 
     normalized: Dict[str, Dict[str, float]] = field(default_factory=dict)
     raw_us: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Per-cell observability reports (environment -> RunMetrics dict);
+    #: display-only — never feeds the normalized values.
+    health: Dict[str, dict] = field(default_factory=dict)
 
     def average_overhead(self, system: str) -> float:
         values = [row[system] for row in self.normalized.values()]
@@ -118,6 +121,7 @@ def execute_cell_on(cell: Cell, system) -> Dict[str, Any]:
     backend calls it in a copy-on-write child with the server's
     inherited machine (see :mod:`repro.tools.forkserver`).
     """
+    from repro.obs import collect_metrics
     from repro.tools.perf import count_accesses
 
     apps = cell.spec.get("apps")
@@ -133,6 +137,7 @@ def execute_cell_on(cell: Cell, system) -> Dict[str, Any]:
         "raw_us": raw_us,
         "accesses": count_accesses(system),
         "sim_cycles": system.platform.clock.now,
+        "metrics": collect_metrics(system).to_dict(),
     }
 
 
@@ -149,12 +154,16 @@ def run_figure6(
     cache: Optional[CellCache] = None,
     warm_start: bool = False,
     backend: str = "auto",
+    enforce_integrity: bool = False,
+    waive: tuple = (),
 ) -> Figure6Result:
     """Run each application on each system; normalize to native.
 
     ``warm_start`` restores each cell's system from a shared post-boot
     snapshot instead of booting it (see repro.state); ``backend`` picks
     the cell execution backend (see ``run_cells``).
+    ``enforce_integrity`` fails the run (IntegrityError) if any cell's
+    monitoring pipeline lost events; ``waive`` accepts named checks.
     """
     result = Figure6Result()
     cells = figure6_cells(scale, platform_factory, apps)
@@ -162,10 +171,15 @@ def run_figure6(
         attach_boot_snapshots(
             cells, cache_dir=cache.directory if cache is not None else None
         )
-    payloads = run_cells(cells, jobs=jobs, cache=cache, backend=backend)
+    payloads = run_cells(
+        cells, jobs=jobs, cache=cache, backend=backend,
+        integrity="enforce" if enforce_integrity else "ignore", waive=waive,
+    )
     for cell, payload in zip(cells, payloads):
         for app_name, microseconds in payload["raw_us"].items():
             result.raw_us.setdefault(app_name, {})[cell.environment] = microseconds
+        if "metrics" in payload:
+            result.health[cell.environment] = payload["metrics"]
     for app_name, row in result.raw_us.items():
         native = row["native"]
         result.normalized[app_name] = {

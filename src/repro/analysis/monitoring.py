@@ -34,6 +34,10 @@ class Table2Result:
 
     counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
     scale: float = 1.0
+    #: Per-cell observability reports (granularity -> RunMetrics dict).
+    #: Table 2 *is* a detection count, so a failed integrity check here
+    #: means the counts themselves are short — see repro.obs.
+    health: Dict[str, dict] = field(default_factory=dict)
 
     def ratio_percent(self, app: str) -> float:
         row = self.counts[app]
@@ -133,6 +137,7 @@ def execute_cell_on(cell: Cell, system) -> Dict[str, Any]:
     backend calls it in a copy-on-write child with the server's
     inherited machine (see :mod:`repro.tools.forkserver`).
     """
+    from repro.obs import collect_metrics
     from repro.tools.perf import count_accesses
 
     apps = cell.spec.get("apps")
@@ -149,6 +154,7 @@ def execute_cell_on(cell: Cell, system) -> Dict[str, Any]:
         "counts": counts,
         "accesses": count_accesses(system),
         "sim_cycles": system.platform.clock.now,
+        "metrics": collect_metrics(system).to_dict(),
     }
 
 
@@ -165,12 +171,17 @@ def run_table2(
     cache: Optional[CellCache] = None,
     warm_start: bool = False,
     backend: str = "auto",
+    enforce_integrity: bool = False,
+    waive: tuple = (),
 ) -> Table2Result:
     """Run the five applications under both monitoring configurations.
 
     ``warm_start`` restores each granularity's monitored system from a
     shared post-boot snapshot instead of booting it (see repro.state);
     ``backend`` picks the cell execution backend (see ``run_cells``).
+    ``enforce_integrity`` fails the run (IntegrityError) if the MBM
+    pipeline lost events — for Table 2 that means the trap counts
+    themselves would be short; ``waive`` accepts named checks.
     """
     result = Table2Result(scale=scale)
     cells = table2_cells(scale, platform_factory, apps)
@@ -178,8 +189,13 @@ def run_table2(
         attach_boot_snapshots(
             cells, cache_dir=cache.directory if cache is not None else None
         )
-    payloads = run_cells(cells, jobs=jobs, cache=cache, backend=backend)
+    payloads = run_cells(
+        cells, jobs=jobs, cache=cache, backend=backend,
+        integrity="enforce" if enforce_integrity else "ignore", waive=waive,
+    )
     for cell, payload in zip(cells, payloads):
         for app_name, delta in payload["counts"].items():
             result.counts.setdefault(app_name, {})[cell.environment] = delta
+        if "metrics" in payload:
+            result.health[cell.environment] = payload["metrics"]
     return result

@@ -14,13 +14,14 @@ and want a fresh record.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.config import PlatformConfig
 from repro.analysis import paper
 from repro.analysis.figures import run_figure6
 from repro.analysis.monitoring import run_table2
 from repro.analysis.tables import run_table1
+from repro.obs.metrics import RunMetrics
 from repro.tools.runner import CellCache
 from repro.workloads.lmbench import LMBENCH_OPS
 
@@ -83,6 +84,52 @@ def _attack_matrix(platform_factory) -> List[str]:
     return lines
 
 
+def health_lines(sections: Dict[str, Dict[str, dict]]) -> List[str]:
+    """Render the run-health table from per-experiment health maps.
+
+    ``sections`` maps an experiment title to its result's ``health``
+    attribute (cell name -> serialized RunMetrics).  Cells without an
+    MBM report ``n/a`` integrity; cells with one report ``ok``,
+    ``WAIVED`` or ``FAILED <check> = <value>`` per failing counter, so
+    a lossy run is visible (and nameable) straight from the report.
+    """
+    lines = [
+        "| experiment | cell | integrity | events | lost | fifo high-water "
+        "| bitmap-cache hits | irqs/event |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for experiment, health in sections.items():
+        for cell_name, data in health.items():
+            metrics = RunMetrics.from_dict(data)
+            if not metrics.checks:
+                lines.append(
+                    f"| {experiment} | {cell_name} | n/a (no MBM) "
+                    f"| - | - | - | - | - |"
+                )
+                continue
+            failures = metrics.failures
+            if failures:
+                verdict = "FAILED " + ", ".join(
+                    f"{check.name} = {check.value}" for check in failures
+                )
+            elif any(check.waived and not check.passed
+                     for check in metrics.checks):
+                verdict = "WAIVED"
+            else:
+                verdict = "ok"
+            gauges = metrics.gauges
+            lines.append(
+                f"| {experiment} | {cell_name} | {verdict} "
+                f"| {int(gauges.get('events_detected', 0))} "
+                f"| {int(gauges.get('events_lost', 0))} "
+                f"| {int(gauges.get('fifo_high_water', 0))}"
+                f"/{int(gauges.get('fifo_depth', 0))} "
+                f"| {gauges.get('bitmap_cache_hit_rate', 0.0) * 100:.1f}% "
+                f"| {gauges.get('irqs_per_detection', 0.0):.2f} |"
+            )
+    return lines
+
+
 def generate_report(
     scale: float = 0.25,
     platform_factory: Optional[Callable[[], PlatformConfig]] = None,
@@ -91,19 +138,25 @@ def generate_report(
     cache: Optional[CellCache] = None,
     warm_start: bool = False,
     backend: str = "auto",
+    enforce_integrity: bool = False,
+    waive: tuple = (),
 ) -> str:
     """Run the full evaluation and return it as a markdown document.
 
     ``jobs``, ``cache``, ``warm_start`` and ``backend`` are forwarded to
     the three cell-based experiment runners (the attack matrix stays
-    in-process: its scenarios share mutable victim systems).
+    in-process: its scenarios share mutable victim systems).  The report
+    always ends with a run-health section; ``enforce_integrity``
+    additionally *fails* generation with an IntegrityError when the
+    monitoring pipeline lost events (``waive`` accepts named checks).
     """
     if platform_factory is None:
         platform_factory = lambda: PlatformConfig(  # noqa: E731
             dram_bytes=192 * 1024 * 1024, secure_bytes=24 * 1024 * 1024
         )
     runner_kwargs = {"jobs": jobs, "cache": cache, "warm_start": warm_start,
-                     "backend": backend}
+                     "backend": backend,
+                     "enforce_integrity": enforce_integrity, "waive": waive}
     lines: List[str] = [
         "# Hypernel reproduction — evaluation report",
         "",
@@ -175,5 +228,13 @@ def generate_report(
     if include_attacks:
         lines += ["", "## Attack matrix", ""]
         lines += _attack_matrix(platform_factory)
+    lines += ["", "## Run health", ""]
+    lines += health_lines(
+        {
+            "table1": table1.health,
+            "figure6": fig6.health,
+            "table2": table2.health,
+        }
+    )
     lines.append("")
     return "\n".join(lines)

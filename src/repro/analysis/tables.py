@@ -26,6 +26,10 @@ class Table1Result:
     """Measured Table 1: op -> system -> µs."""
 
     rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Per-cell observability reports (environment -> RunMetrics dict);
+    #: rendered by the report's run-health section.  Never feeds the
+    #: table values, so the table stays byte-identical either way.
+    health: Dict[str, dict] = field(default_factory=dict)
 
     def average_overhead(self, system: str) -> float:
         """Average slowdown vs native over all ops (paper section 7.1.1)."""
@@ -109,6 +113,7 @@ def execute_cell_on(cell: Cell, system) -> Dict[str, Any]:
     reach the same code through :func:`execute_cell`, so every backend
     runs the identical workload body.
     """
+    from repro.obs import collect_metrics
     from repro.tools.perf import count_accesses
 
     spec = cell.spec
@@ -121,6 +126,7 @@ def execute_cell_on(cell: Cell, system) -> Dict[str, Any]:
         "rows": rows,
         "accesses": count_accesses(system),
         "sim_cycles": system.platform.clock.now,
+        "metrics": collect_metrics(system).to_dict(),
     }
 
 
@@ -138,6 +144,8 @@ def run_table1(
     cache: Optional[CellCache] = None,
     warm_start: bool = False,
     backend: str = "auto",
+    enforce_integrity: bool = False,
+    waive: tuple = (),
 ) -> Table1Result:
     """Build each system, run the LMbench suite, collect Table 1.
 
@@ -145,6 +153,8 @@ def run_table1(
     of its system instead of booting (bit-identical by the repro.state
     contract, so the table itself is byte-identical either way).
     ``backend`` picks the cell execution backend (see ``run_cells``).
+    ``enforce_integrity`` fails the run (IntegrityError) if any cell's
+    monitoring pipeline lost events; ``waive`` accepts named checks.
     """
     ops = list(ops or LMBENCH_OPS)
     cells = table1_cells(platform_factory, warmup, iterations, ops)
@@ -152,9 +162,14 @@ def run_table1(
         attach_boot_snapshots(
             cells, cache_dir=cache.directory if cache is not None else None
         )
-    payloads = run_cells(cells, jobs=jobs, cache=cache, backend=backend)
+    payloads = run_cells(
+        cells, jobs=jobs, cache=cache, backend=backend,
+        integrity="enforce" if enforce_integrity else "ignore", waive=waive,
+    )
     result = Table1Result(rows={op: {} for op in ops})
     for cell, payload in zip(cells, payloads):
         for op in ops:
             result.rows[op][cell.environment] = payload["rows"][op]
+        if "metrics" in payload:
+            result.health[cell.environment] = payload["metrics"]
     return result

@@ -11,6 +11,12 @@ Commands:
 * ``audit`` — build a monitored Hypernel system, run a workload and
   verify every security invariant against live machine state; with
   ``--snapshot PATH``, audit a restored machine image instead.
+* ``metrics`` — run a monitored workload (or restore a snapshot with
+  ``--snapshot``) and print the full observability report: component
+  counters, gauges, cycle attribution and the run-integrity checks
+  (repro.obs).  Exits non-zero when the monitoring pipeline lost
+  events, unless ``--no-enforce`` or the check is ``--waive``d;
+  ``--json PATH`` exports the report as JSONL.
 * ``snapshot`` — save/restore/inspect/diff machine checkpoints
   (``repro.state``): ``snapshot save``, ``snapshot restore``,
   ``snapshot info``, ``snapshot diff``.
@@ -29,6 +35,7 @@ import time
 from typing import List, Optional
 
 from repro.config import PlatformConfig
+from repro.errors import IntegrityError
 
 
 def _platform_config(args) -> PlatformConfig:
@@ -68,6 +75,15 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
                         "(process pool), serial, or auto (forkserver "
                         "when available and --jobs > 1; overridable "
                         "via REPRO_BENCH_BACKEND)")
+    parser.add_argument("--enforce-integrity", action="store_true",
+                        help="fail the run if the monitoring pipeline "
+                        "lost events in any cell (FIFO overrun, ring "
+                        "overflow — see repro.obs); cached results are "
+                        "checked too")
+    parser.add_argument("--waive", action="append", default=[],
+                        metavar="CHECK",
+                        help="accept a named integrity check (e.g. "
+                        "mbm_fifo.overrun); repeatable")
 
 
 def _runner_kwargs(args):
@@ -75,7 +91,9 @@ def _runner_kwargs(args):
 
     cache = None if args.no_cache else CellCache(default_cache_dir())
     return {"jobs": args.jobs, "cache": cache,
-            "warm_start": args.warm_start, "backend": args.backend}
+            "warm_start": args.warm_start, "backend": args.backend,
+            "enforce_integrity": args.enforce_integrity,
+            "waive": tuple(args.waive)}
 
 
 def cmd_info(args) -> int:
@@ -247,6 +265,77 @@ def _add_audit_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--snapshot", default=None, metavar="PATH",
                         help="audit a restored machine image instead of "
                         "building and exercising a fresh system")
+
+
+def cmd_metrics(args) -> int:
+    from repro.obs import collect_metrics, metrics_records, write_jsonl
+
+    waive = tuple(args.waive)
+    if args.snapshot:
+        from repro.errors import IntegrityError, SnapshotError
+        from repro.state import restore_system
+
+        try:
+            system = restore_system(args.snapshot)
+        except (SnapshotError, FileNotFoundError) as exc:
+            print(f"error: {exc}")
+            return 1
+        print(f"metrics for restored {system.name} image ({args.snapshot})")
+        try:
+            metrics = collect_metrics(system, waive=waive)
+        except IntegrityError as exc:  # unknown waiver name
+            print(f"error: {exc}")
+            return 1
+    else:
+        from repro.core.hypernel import build_hypernel
+        from repro.errors import IntegrityError
+        from repro.security import (
+            CredIntegrityMonitor,
+            DentryIntegrityMonitor,
+        )
+        from repro.workloads.apps import UntarWorkload
+
+        system = build_hypernel(
+            platform_config=_platform_config(args),
+            monitors=[CredIntegrityMonitor(), DentryIntegrityMonitor()],
+        )
+        shell = system.spawn_init()
+        print("running a workload under full monitoring ...")
+        app = UntarWorkload(args.scale)
+        app.prepare(system, shell)
+        app.run(system, shell)
+        try:
+            metrics = collect_metrics(system, waive=waive)
+        except IntegrityError as exc:
+            print(f"error: {exc}")
+            return 1
+    print(metrics.format())
+    if args.json:
+        count = write_jsonl(args.json, metrics_records(metrics))
+        print(f"\n[{count} records written to {args.json}]")
+    if args.no_enforce:
+        return 0
+    failures = metrics.failures
+    if failures:
+        detail = ", ".join(f"{c.name} = {c.value}" for c in failures)
+        print(f"\nINTEGRITY FAILURE: {detail}")
+        return 1
+    return 0
+
+
+def _add_metrics_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="collect metrics from a restored machine "
+                        "image instead of running a fresh workload")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the report as JSONL records")
+    parser.add_argument("--waive", action="append", default=[],
+                        metavar="CHECK",
+                        help="accept a named integrity check (e.g. "
+                        "mbm_fifo.overrun); repeatable")
+    parser.add_argument("--no-enforce", action="store_true",
+                        help="report integrity failures without failing "
+                        "the exit status")
 
 
 def cmd_snapshot(args) -> int:
@@ -425,6 +514,7 @@ _COMMANDS = {
     "table2": (cmd_table2, [_add_platform, _add_scale, _add_runner]),
     "attacks": (cmd_attacks, [_add_platform]),
     "audit": (cmd_audit, [_add_platform, _add_scale, _add_audit_args]),
+    "metrics": (cmd_metrics, [_add_platform, _add_scale, _add_metrics_args]),
     "report": (cmd_report, [_add_platform, _add_scale, _add_runner]),
     "snapshot": (cmd_snapshot, [_add_snapshot_args]),
     "bench-simspeed": (cmd_bench_simspeed, [_add_simspeed_args]),
@@ -444,7 +534,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             add_args(sub)
         sub.set_defaults(handler=handler)
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except IntegrityError as exc:
+        print(f"INTEGRITY FAILURE: {exc}")
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

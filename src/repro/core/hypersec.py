@@ -24,6 +24,7 @@ Implements the paper's sections 5.2, 5.3 and 6.1:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.config import PAGE_BYTES, PAGE_WORDS, SECTION_BYTES, WORD_BYTES
@@ -521,13 +522,25 @@ class Hypersec(EL2Vector):
         new = (raw & ~DESC_NC) if cacheable else (raw | DESC_NC)
         self._el2_write(desc_addr, new)
         if not cacheable:
-            # Flush any dirty lines so no stale writeback bypasses the MBM.
-            if level == 2:
-                section = align_down(page_paddr, SECTION_BYTES)
-                for off in range(0, SECTION_BYTES, PAGE_BYTES):
-                    self.platform.caches.clean_invalidate_page(section + off)
-            else:
-                self.platform.caches.clean_invalidate_page(page_paddr)
+            # Flush any dirty lines so no stale writeback bypasses the
+            # MBM.  The bitmap bits are already armed, so the flushed
+            # lines cover monitored words by construction: bracket the
+            # flush so the MBM books them as the mitigation working
+            # (flushed_writebacks), not as missed-event hazards.
+            flush = (
+                self.mbm.expected_flush()
+                if self.mbm is not None
+                else nullcontext()
+            )
+            with flush:
+                if level == 2:
+                    section = align_down(page_paddr, SECTION_BYTES)
+                    for off in range(0, SECTION_BYTES, PAGE_BYTES):
+                        self.platform.caches.clean_invalidate_page(
+                            section + off
+                        )
+                else:
+                    self.platform.caches.clean_invalidate_page(page_paddr)
         if level == 2:
             self.cpu.tlbi_all()
         else:
@@ -540,7 +553,10 @@ class Hypersec(EL2Vector):
         if self.mbm is None:
             return hc.HVC_DENIED
         events = self.mbm.ring.consume_all(
-            reader=lambda paddr: self._el2_read(paddr, cacheable=False)
+            reader=lambda paddr: self._el2_read(paddr, cacheable=False),
+            writer=lambda paddr, value: self._el2_write(
+                paddr, value, cacheable=False
+            ),
         )
         for addr, value in events:
             self.cpu.compute(self.costs.hypersec_irq_dispatch)

@@ -28,6 +28,11 @@ class DecisionUnit:
         self.ring = ring
         self.costs = costs
         self.raise_irq = raise_irq
+        #: Optional detection observer ``(paddr, value, queued)``; wiring
+        #: for :class:`repro.obs.export.DetectionTrace`.  A plain
+        #: attribute (not an EventHook) keeps the no-observer hot path at
+        #: one attribute load.
+        self.on_hit: Optional[Callable[[int, Optional[int], bool], None]] = None
         self._checked = 0
         self._hits = 0
         self._decision_cost = costs.mbm_decision
@@ -64,8 +69,16 @@ class DecisionUnit:
         if not (bitmap_word >> bit) & 1:
             return False
         self._hits += 1
-        if not self.ring.produce(paddr, value):
+        queued = self.ring.produce(paddr, value)
+        if not queued:
+            # Overflow: the record is gone, so notifying Hypersec would
+            # only add an interrupt with nothing behind it (events
+            # already queued keep their own pending notifications).
+            # ``lost_events`` is a run-integrity failure — see
+            # repro.obs.metrics.
             self.stats.add("lost_events")
-        if self.raise_irq is not None:
+        if self.on_hit is not None:
+            self.on_hit(paddr, value, queued)
+        if queued and self.raise_irq is not None:
             self.raise_irq()
         return True

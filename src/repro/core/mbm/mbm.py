@@ -86,6 +86,10 @@ class MemoryBusMonitor:
         self._costs = costs
         self._snoop_cost = costs.mbm_snoop
         self._attached = False
+        # Transient: non-zero only inside expected_flush() brackets,
+        # which never span a snapshot point (they close within one
+        # hypercall) — deliberately absent from state_dict.
+        self._expected_flush_depth = 0
 
     def _flush_pending(self) -> None:
         if self._irqs_raised:
@@ -135,6 +139,16 @@ class MemoryBusMonitor:
         """Monitored-write detections (== interrupts without coalescing),
         the quantity Table 2 reports."""
         return self.decision.stats.get("hits")
+
+    @property
+    def events_lost(self) -> int:
+        """Events the pipeline dropped anywhere: capture-FIFO overruns
+        plus ring-buffer overflows.  Non-zero means detections are
+        missing and any monitoring result from this run is suspect —
+        repro.obs turns this into a hard integrity failure."""
+        return self.fifo.stats.get("dropped") + self.decision.stats.get(
+            "lost_events"
+        )
 
     # ------------------------------------------------------------------
     def attach(self) -> None:
@@ -206,10 +220,42 @@ class MemoryBusMonitor:
         """A dirty-line writeback covered monitored words: the per-word
         values were invisible, so events may have been missed.  Hypersec
         prevents this by making monitored pages non-cacheable; the
-        counter exists to prove that necessity."""
+        counter exists to prove that necessity.
+
+        The one legitimate exception is Hypersec's own registration
+        flush: region registration arms the bitmap bits and *then*
+        clean-invalidates the page, so the flushed lines hold values
+        written before monitoring began — not missed events.  Hypersec
+        brackets that flush with :meth:`expected_flush`, which rebuckets
+        the count as ``flushed_writebacks`` (the mitigation observably
+        doing its job) instead of ``writeback_hazards`` (an integrity
+        failure).  The bitmap scan itself is identical either way, so
+        suppression never changes bus traffic or monitor occupancy."""
         for word_addr, mask in self.bitmap.words_for_range(
             line_paddr, nwords * WORD_BYTES
         ):
             if self.translator.fetch_word(word_addr) & mask:
-                self.stats.add("writeback_hazards")
+                if self._expected_flush_depth:
+                    self.stats.add("flushed_writebacks")
+                else:
+                    self.stats.add("writeback_hazards")
                 return
+
+    def expected_flush(self):
+        """Context manager marking an intentional clean-invalidate of
+        monitored pages (see :meth:`note_writeback`)."""
+        return _ExpectedFlush(self)
+
+
+class _ExpectedFlush:
+    """Re-entrant bracket for Hypersec's registration flushes."""
+
+    def __init__(self, mbm: MemoryBusMonitor):
+        self._mbm = mbm
+
+    def __enter__(self) -> "_ExpectedFlush":
+        self._mbm._expected_flush_depth += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._mbm._expected_flush_depth -= 1

@@ -101,14 +101,22 @@ class EventRingBuffer:
         """Events waiting (backdoor peek for tests/stats)."""
         return self.bus.peek(self.base) - self.bus.peek(self.base + WORD_BYTES)
 
-    def consume_all(self, reader=None) -> List[Tuple[int, int]]:
+    def consume_all(self, reader=None, writer=None) -> List[Tuple[int, int]]:
         """Drain every queued event with uncached (device) reads.
 
         ``reader`` is a callable performing a charged uncached read for
         the consuming agent; it defaults to charged bus reads.
+        ``writer`` is the matching charged store used for the tail
+        write-back — a consumer that supplies its own ``reader`` must
+        supply the consistent ``writer``, or its one store per drain is
+        silently charged (and attributed on the bus) as a plain CPU
+        write.  Both default to raw bus accesses, preserving the
+        reader-less behaviour.
         """
         if reader is None:
             reader = lambda paddr: self.bus.read(paddr)  # noqa: E731
+        if writer is None:
+            writer = lambda paddr, value: self.bus.write(paddr, value)  # noqa: E731
         events: List[Tuple[int, int]] = []
         head = reader(self.base)
         tail = reader(self.base + WORD_BYTES)
@@ -120,6 +128,6 @@ class EventRingBuffer:
             value = reader(entry + WORD_BYTES)
             events.append((addr, value))
             tail += 1
-        self.bus.write(self.base + WORD_BYTES, tail)
+        writer(self.base + WORD_BYTES, tail)
         self.stats.add("consumed", len(events))
         return events

@@ -47,6 +47,13 @@ class ProtocolError(SimulationError):
     handling misused, ring-buffer read past the producer)."""
 
 
+class IntegrityError(SimulationError):
+    """A run-integrity check failed: the monitoring pipeline lost events
+    (FIFO overrun, ring overflow) during a run that did not waive the
+    check.  Raised by :mod:`repro.obs.metrics` so silent event loss
+    fails loudly instead of skewing Table 2."""
+
+
 class ArchFault(Exception):
     """Base class for modelled architectural synchronous exceptions.
 

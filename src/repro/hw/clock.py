@@ -11,6 +11,9 @@ is running (e.g. "cycles spent inside fork()").
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
 
 class Clock:
     """Monotonic cycle counter with frequency-aware conversions."""
@@ -20,6 +23,10 @@ class Clock:
             raise ValueError(f"clock frequency must be positive, got {freq_hz}")
         self.freq_hz = freq_hz
         self._cycles = 0
+        #: Cycles accumulated per charge-scope label (observer-side
+        #: bookkeeping — never part of machine state, so snapshots
+        #: neither save nor restore it).
+        self.attribution: Dict[str, int] = {}
 
     @property
     def now(self) -> int:
@@ -38,6 +45,29 @@ class Clock:
     def elapsed_since(self, start: int) -> int:
         """Cycles elapsed since a previously captured ``now`` value."""
         return self._cycles - start
+
+    @contextmanager
+    def scope(self, label: str) -> Iterator[None]:
+        """Attribute cycles charged inside the ``with`` block to ``label``.
+
+        Zero-cost for the simulation itself: the block's charges advance
+        the global counter exactly as they would outside the scope; the
+        elapsed delta is added to :attr:`attribution` on exit.  Scopes
+        may nest, in which case the inner delta is (deliberately)
+        counted under both labels — callers picking disjoint labels get
+        disjoint buckets.
+        """
+        start = self._cycles
+        try:
+            yield
+        finally:
+            delta = self._cycles - start
+            if delta:
+                self.attribution[label] = self.attribution.get(label, 0) + delta
+
+    def clear_attribution(self) -> None:
+        """Drop all charge-scope buckets (e.g. between benchmark phases)."""
+        self.attribution.clear()
 
     def state_dict(self) -> dict:
         return {"freq_hz": self.freq_hz, "cycles": self._cycles}

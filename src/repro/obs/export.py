@@ -1,0 +1,192 @@
+"""Machine-readable export: JSONL traces and metric records.
+
+Everything here serializes to *JSON Lines* — one self-describing JSON
+object per line, each carrying a ``"type"`` discriminator — so traces
+from different sources (bus transactions, MBM detections, metric
+reports) can be concatenated, streamed and grepped with standard
+tooling.
+
+Sources:
+
+* :func:`bus_trace_records` — a :class:`~repro.tools.trace.BusTracer`'s
+  captured transactions.
+* :class:`DetectionTrace` — the MBM detection path, observed through
+  the decision unit's ``on_hit`` hook: every monitored-write hit with
+  its cycle stamp and whether the ring buffer actually queued it.
+* :func:`metrics_records` — a flattened
+  :class:`~repro.obs.metrics.RunMetrics` report.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Optional, Union
+
+#: Type discriminators for exported records.
+RECORD_BUS = "bus_txn"
+RECORD_DETECTION = "mbm_detection"
+RECORD_COUNTER = "counter"
+RECORD_GAUGE = "gauge"
+RECORD_CHECK = "integrity_check"
+RECORD_ATTRIBUTION = "cycle_attribution"
+
+
+def jsonl_dumps(records: Iterable[dict]) -> str:
+    """Records as JSONL text (sorted keys: byte-stable for diffing)."""
+    return "".join(
+        json.dumps(record, sort_keys=True) + "\n" for record in records
+    )
+
+
+def write_jsonl(
+    destination: Union[str, IO[str]], records: Iterable[dict]
+) -> int:
+    """Write records to a path or open text file; returns the count."""
+    text_records = [json.dumps(record, sort_keys=True) for record in records]
+    payload = "".join(line + "\n" for line in text_records)
+    if hasattr(destination, "write"):
+        destination.write(payload)  # type: ignore[union-attr]
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+    return len(text_records)
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> List[dict]:
+    """Parse a JSONL document back into records (inverse of write)."""
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# Bus traces
+# ----------------------------------------------------------------------
+def bus_trace_records(tracer) -> List[dict]:
+    """A BusTracer's capture buffer as typed JSONL records."""
+    records = [
+        dict(record.as_dict(), type=RECORD_BUS) for record in tracer.records
+    ]
+    if tracer.dropped:
+        records.append(
+            {"type": RECORD_BUS, "dropped": tracer.dropped}
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
+# MBM detection stream
+# ----------------------------------------------------------------------
+class DetectionTrace:
+    """Record every MBM detection through ``DecisionUnit.on_hit``.
+
+    The hook fires once per monitored-write hit with the event address,
+    value (``None`` for block-modelled streams) and whether the ring
+    buffer queued it — a dropped event shows up here with
+    ``"queued": false`` even though it never reached Hypersec, which is
+    what makes loss debuggable.  Attaching costs one attribute store;
+    each recorded hit is one dict append (no simulated cycles).
+
+    ::
+
+        with DetectionTrace(system.mbm) as trace:
+            ... run workload ...
+        write_jsonl("detections.jsonl", trace.records)
+    """
+
+    def __init__(self, mbm, capacity: int = 100_000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.mbm = mbm
+        self.capacity = capacity
+        self.records: List[dict] = []
+        self.dropped = 0
+        self._clock = mbm.platform.clock
+        self._attached = False
+
+    def attach(self) -> "DetectionTrace":
+        if self.mbm.decision.on_hit is not None:
+            raise ValueError("decision unit already has an on_hit observer")
+        self.mbm.decision.on_hit = self._record
+        self._attached = True
+        return self
+
+    def detach(self) -> "DetectionTrace":
+        if self._attached:
+            self.mbm.decision.on_hit = None
+            self._attached = False
+        return self
+
+    def __enter__(self) -> "DetectionTrace":
+        return self.attach()
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    def _record(self, paddr: int, value: Optional[int], queued: bool) -> None:
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(
+            {
+                "type": RECORD_DETECTION,
+                "cycle": self._clock.now,
+                "paddr": paddr,
+                "value": value,
+                "queued": queued,
+            }
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+# ----------------------------------------------------------------------
+# Metric reports
+# ----------------------------------------------------------------------
+def metrics_records(metrics) -> List[dict]:
+    """Flatten a RunMetrics report into typed JSONL records."""
+    records: List[dict] = []
+    for component, counters in sorted(metrics.components.items()):
+        for key, value in sorted(counters.items()):
+            records.append(
+                {
+                    "type": RECORD_COUNTER,
+                    "system": metrics.system,
+                    "component": component,
+                    "key": key,
+                    "value": value,
+                }
+            )
+    for key, value in sorted(metrics.gauges.items()):
+        records.append(
+            {
+                "type": RECORD_GAUGE,
+                "system": metrics.system,
+                "key": key,
+                "value": value,
+            }
+        )
+    for check in metrics.checks:
+        records.append(
+            dict(
+                check.to_dict(),
+                type=RECORD_CHECK,
+                system=metrics.system,
+                passed=check.passed,
+            )
+        )
+    for key, cycles in sorted(metrics.attribution.items()):
+        records.append(
+            {
+                "type": RECORD_ATTRIBUTION,
+                "system": metrics.system,
+                "key": key,
+                "cycles": cycles,
+                "sim_cycles": metrics.sim_cycles,
+            }
+        )
+    return records

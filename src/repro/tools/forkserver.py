@@ -187,7 +187,13 @@ def _describe_status(status: int) -> str:
 
 
 def _child_main(result_fd: int, cell, system, run_on) -> None:
-    """Execute one cell in a freshly forked child; never returns."""
+    """Execute one cell in a freshly forked child; never returns.
+
+    The payload travels back verbatim — including the ``"metrics"``
+    observability report the workload body attaches (see repro.obs),
+    so run-integrity enforcement happens once, in ``run_cells``, with
+    identical semantics across the serial, pool and fork backends.
+    """
     try:
         try:
             if system is not None:

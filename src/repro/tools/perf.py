@@ -94,6 +94,11 @@ def count_accesses(system) -> int:
     Counts CPU word/block accesses plus the DRAM-level traffic the cache
     hierarchy generated; the exact composition matters less than its
     determinism — the same workload must always produce the same count.
+
+    Observability reads (:func:`repro.obs.collect_metrics`) never show
+    up here: StatSet reads, gauge derivation and ``bus.peek`` generate
+    no bus transactions, so a payload's access count is byte-identical
+    whether or not metrics were collected alongside it.
     """
     cpu = system.cpu.stats
     bus = system.platform.bus.stats

@@ -474,6 +474,8 @@ def run_cells(
     timeout: Optional[float] = DEFAULT_TIMEOUT,
     executor_factory: Optional[Callable[[int], Any]] = None,
     backend: str = "auto",
+    integrity: str = "ignore",
+    waive: Tuple[str, ...] = (),
 ) -> List[Dict[str, Any]]:
     """Execute every cell and return payloads in cell order.
 
@@ -497,9 +499,32 @@ def run_cells(
     * With a ``cache``, cacheable cells are looked up first and
       computed payloads are stored back; a fully warm cache dispatches
       zero jobs (no backend process is ever started).
+    * ``integrity="enforce"`` checks the ``"metrics"`` block every cell
+      executor embeds in its payload (repro.obs) and raises
+      :class:`~repro.errors.IntegrityError` if the monitoring pipeline
+      lost events in any cell — *including cached payloads*, so a lossy
+      result can never hide in the cache.  ``waive`` names checks
+      (``"mbm_fifo.overrun"``-style) to accept.  The default
+      ``"ignore"`` keeps enforcement opt-in.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be positive, got {jobs}")
+    if integrity not in ("ignore", "enforce"):
+        raise ValueError(
+            f"integrity must be 'ignore' or 'enforce', got {integrity!r}"
+        )
+
+    def _finish(
+        payloads: List[Optional[Dict[str, Any]]]
+    ) -> List[Dict[str, Any]]:
+        if integrity == "enforce":
+            from repro.obs.metrics import verify_payload_integrity
+
+            verify_payload_integrity(
+                [cell.label() for cell in cells], payloads, waive=waive
+            )
+        return payloads  # type: ignore[return-value]
+
     resolved = _resolve_backend(backend, jobs, executor_factory)
     results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
     pending: List[int] = []
@@ -524,7 +549,7 @@ def run_cells(
                 if cache is not None:
                     for index in pending:
                         cache.store(cells[index], results[index])
-                return results  # type: ignore[return-value]
+                return _finish(results)
 
         pool = None
         if resolved == "pool" and jobs > 1 and len(pending) > 1:
@@ -572,4 +597,4 @@ def run_cells(
             for index in pending:
                 cache.store(cells[index], results[index])
 
-    return results  # type: ignore[return-value]
+    return _finish(results)

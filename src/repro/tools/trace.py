@@ -18,7 +18,7 @@ buffer.  Used for debugging monitors and for the examples' narratives
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable, List, Optional
 
 from repro.config import PAGE_BYTES, WORD_BYTES
@@ -37,6 +37,18 @@ class TraceRecord:
     value: Optional[int]
     nwords: int
     initiator: str
+
+    def as_dict(self) -> dict:
+        """JSON-ready form, one record per JSONL line (repro.obs.export)."""
+        return asdict(self)
+
+    def covers(self, paddr: int) -> bool:
+        """Whether this transaction's span includes the word at ``paddr``.
+
+        Single-word records cover exactly their own address; line and
+        block transfers cover ``nwords`` consecutive words.
+        """
+        return self.paddr <= paddr < self.paddr + self.nwords * WORD_BYTES
 
     def __str__(self) -> str:
         value = "-" if self.value is None else f"{self.value:#x}"
@@ -136,12 +148,21 @@ class BusTracer:
         return "\n".join(lines) if lines else "(no transactions captured)"
 
     def summary(self) -> dict:
-        """Aggregate statistics over the captured trace."""
+        """Aggregate statistics over the captured trace.
+
+        Page buckets are span-aware: a multi-word transfer counts in
+        every page its ``nwords`` span touches, not just the first.
+        """
         kinds = Counter(record.kind for record in self.records)
         initiators = Counter(record.initiator for record in self.records)
-        pages = Counter(
-            align_down(record.paddr, PAGE_BYTES) for record in self.records
-        )
+        pages: Counter = Counter()
+        for record in self.records:
+            first = align_down(record.paddr, PAGE_BYTES)
+            last = align_down(
+                record.paddr + (record.nwords - 1) * WORD_BYTES, PAGE_BYTES
+            )
+            for page in range(first, last + PAGE_BYTES, PAGE_BYTES):
+                pages[page] += 1
         return {
             "records": len(self.records),
             "dropped": self.dropped,
@@ -150,12 +171,21 @@ class BusTracer:
             "hot_pages": [f"{page:#x}" for page, _ in pages.most_common(5)],
         }
 
+    #: Write-like transaction kinds (mirrors BusTransaction.is_write_like).
+    _WRITE_KINDS = frozenset(
+        kind.value
+        for kind in (TxnKind.WRITE, TxnKind.BLOCK_WRITE, TxnKind.WRITEBACK)
+    )
+
     def writes_to(self, paddr: int) -> List[TraceRecord]:
-        """All captured word writes to exactly ``paddr``."""
+        """All captured write-like transactions covering the word at
+        ``paddr``: exact word writes plus multi-word ``BLOCK_WRITE`` /
+        ``WRITEBACK`` transfers whose ``nwords`` span includes it
+        (the same overlap rule :meth:`_matches` applies to filters)."""
         return [
             record
             for record in self.records
-            if record.kind == TxnKind.WRITE.value and record.paddr == paddr
+            if record.kind in self._WRITE_KINDS and record.covers(paddr)
         ]
 
     def __len__(self) -> int:
