@@ -24,6 +24,15 @@ it against the committed baseline ``BENCH_simspeed.json``:
   ``table1_runner_serial`` — restore-then-run equals boot-then-run —
   and the boot-time saving vs the serial run is reported (wall clock,
   machine sensitive, so informational only);
+* verifies the macro-op memoization legs: each workload in
+  ``perf.NOMEMO_WORKLOADS`` is measured twice — memoizer on (the plain
+  entry) and off (the ``*_nomemo`` twin) — and the two legs must report
+  *identical* simulated accesses/sim_cycles (replay must not change
+  simulated behaviour).  The check also fails vacuously: the memoized
+  ``monitored_write_storm`` leg must actually replay ops
+  (``extras.replayed_ops > 0``), otherwise the exactness comparison
+  proves nothing.  Skipped entirely when ``REPRO_MACROOPS=0`` disables
+  the memoizer (the twins are redundant then);
 * verifies the fork-server entry: ``table1_runner_forkserver``
   (persistent warm servers forking copy-on-write workers, see
   ``repro.tools.forkserver``) must report simulated
@@ -144,6 +153,53 @@ def forkserver_failures(current: dict, baseline: dict,
     return failures
 
 
+def macroop_failures(current: dict, baseline: dict) -> list:
+    """Check the memoizer-on vs memoizer-off legs (see module docstring)."""
+    from repro.tools.macroops import memoization_enabled
+
+    if not memoization_enabled():
+        print("macro-op memoizer disabled (REPRO_MACROOPS=0); "
+              "skipping the memoization legs")
+        return []
+    failures = []
+    current_workloads = current.get("workloads", {})
+    for base_name in perf.NOMEMO_WORKLOADS:
+        twin_name = base_name + perf.NOMEMO_SUFFIX
+        if twin_name not in baseline.get("workloads", {}):
+            failures.append(
+                f"{twin_name}: missing from the baseline — re-run with "
+                f"--update"
+            )
+        memo = current_workloads.get(base_name)
+        raw = current_workloads.get(twin_name)
+        if not memo or not raw:
+            continue
+        for field in ("accesses", "sim_cycles"):
+            if memo[field] != raw[field]:
+                failures.append(
+                    f"{base_name}: macro-op memoization changed simulated "
+                    f"{field} ({raw[field]} without vs {memo[field]} with) "
+                    f"— replay must not change simulated behaviour"
+                )
+        if raw["wall_seconds"] > 0 and memo["wall_seconds"] > 0:
+            speedup = raw["wall_seconds"] / memo["wall_seconds"]
+            print(f"macro-op memoization speedup on {base_name}: "
+                  f"{speedup:.2f}x")
+    # Vacuity: the exactness comparison above proves nothing unless the
+    # memoized storm leg actually replayed ops.
+    storm = current_workloads.get("monitored_write_storm")
+    if storm is not None:
+        extras = storm.get("extras", {})
+        if extras.get("memoized") and not extras.get("replayed_ops"):
+            failures.append(
+                "monitored_write_storm: memoizer enabled but zero ops were "
+                "replayed (bail_reason="
+                f"{extras.get('bail_reason', '?')!r}) — the memoization "
+                "legs are vacuous"
+            )
+    return failures
+
+
 def warmstart_failures(current: dict, baseline: dict) -> list:
     """Check the warm-start runner entry (see module docstring)."""
     failures = []
@@ -220,6 +276,7 @@ def main(argv=None) -> int:
                                         tolerance=args.tolerance)
     failures += runner_failures(current, baseline,
                                 min_speedup=args.min_parallel_speedup)
+    failures += macroop_failures(current, baseline)
     failures += warmstart_failures(current, baseline)
     failures += forkserver_failures(current, baseline,
                                     min_speedup=args.min_forkserver_speedup)

@@ -114,11 +114,13 @@ def execute_cell_on(cell: Cell, system) -> Dict[str, Any]:
     runs the identical workload body.
     """
     from repro.obs import collect_metrics
+    from repro.tools.macroops import MacroOpEngine, memoization_enabled
     from repro.tools.perf import count_accesses
 
     spec = cell.spec
     suite = LmbenchSuite(
-        system, warmup=spec["warmup"], iterations=spec["iterations"]
+        system, warmup=spec["warmup"], iterations=spec["iterations"],
+        engine=MacroOpEngine(system) if memoization_enabled() else None,
     )
     suite.setup()
     rows = {op: suite.run_op(op).microseconds for op in spec["ops"]}

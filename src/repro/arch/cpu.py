@@ -118,15 +118,93 @@ class CPUCore:
     # Memory access
     # ------------------------------------------------------------------
     def read(self, vaddr: int, el: int | None = None) -> int:
-        """Read one 64-bit word at virtual address ``vaddr``."""
+        """Read one 64-bit word at virtual address ``vaddr``.
+
+        The common case — EL1 access, stage 2 off, MMU on, translation
+        answered by the MMU's one-entry fast cache — is inlined end to
+        end (translate + cache access) with accounting identical to the
+        layered path; anything else falls through to it.
+        """
         el = self.current_el if el is None else el
+        mmu = self.mmu
+        if (
+            el == 1
+            and (vaddr >> 12) == mmu._fast_vpage
+            and mmu.asid == mmu._fast_asid
+            and mmu.vmid == mmu._fast_vmid
+            and mmu.tlb.epoch == mmu._fast_epoch
+            and mmu.regs._mmu_enabled
+            and not mmu.regs._stage2_enabled
+        ):
+            # EL1 reads need no permission check (user/exec/write only).
+            entry = mmu._fast_entry
+            mmu.tlb._hits += 1
+            self._reads += 1
+            paddr = entry.page_paddr | (vaddr & 4095)
+            caches = self.platform.caches
+            if entry.cacheable:
+                caches._cached_reads += 1
+                l1 = caches.l1
+                if l1._line_shift is not None:
+                    line = paddr & caches._line_mask
+                    lines = l1._sets.get((line >> l1._line_shift) & l1._set_mask)
+                    if lines is not None and line in lines:
+                        lines.move_to_end(line)
+                        l1._hits += 1
+                        self.clock.advance(self.costs.l1_hit)
+                        return self.platform.bus.memory.read_word(paddr)
+                caches._ensure_resident(paddr, "cpu")
+                return self.platform.bus.memory.read_word(paddr)
+            caches._uncached_reads += 1
+            return self.platform.bus.read(paddr)
         result = self._translate(vaddr, is_write=False, el=el)
         self._reads += 1
         return self.platform.caches.read(result.paddr, result.cacheable)
 
     def write(self, vaddr: int, value: int, el: int | None = None) -> None:
-        """Write one 64-bit word at virtual address ``vaddr``."""
+        """Write one 64-bit word at virtual address ``vaddr``.
+
+        Mirrors :meth:`read`'s inline fast path; a write to a
+        non-writable page (permission fault, COW break) falls through to
+        the layered path, which raises with full context.
+        """
         el = self.current_el if el is None else el
+        mmu = self.mmu
+        if (
+            el == 1
+            and (vaddr >> 12) == mmu._fast_vpage
+            and mmu.asid == mmu._fast_asid
+            and mmu.vmid == mmu._fast_vmid
+            and mmu.tlb.epoch == mmu._fast_epoch
+            and mmu.regs._mmu_enabled
+            and not mmu.regs._stage2_enabled
+        ):
+            entry = mmu._fast_entry
+            if entry.writable:
+                mmu.tlb._hits += 1
+                self._writes += 1
+                paddr = entry.page_paddr | (vaddr & 4095)
+                caches = self.platform.caches
+                if entry.cacheable:
+                    caches._cached_writes += 1
+                    l1 = caches.l1
+                    if l1._line_shift is not None:
+                        line = paddr & caches._line_mask
+                        lines = l1._sets.get((line >> l1._line_shift) & l1._set_mask)
+                        if lines is not None and line in lines:
+                            lines.move_to_end(line)
+                            lines[line] = True
+                            l1._hits += 1
+                            self.clock.advance(self.costs.l1_hit)
+                            self.platform.bus.memory.write_word(paddr, value)
+                            return
+                    caches._ensure_resident(paddr, "cpu")
+                    caches.l1.mark_dirty(paddr & caches._line_mask)
+                    self.platform.bus.memory.write_word(paddr, value)
+                    return
+                caches._uncached_writes += 1
+                self.platform.bus.write(paddr, value)
+                return
         result = self._translate(vaddr, is_write=True, el=el)
         self._writes += 1
         self.platform.caches.write(result.paddr, value, result.cacheable)
@@ -139,6 +217,17 @@ class CPUCore:
         MBM) when the pages are non-cacheable.
         """
         el = self.current_el if el is None else el
+        # Fast path: the run fits in one page (page-aligned bulk ops —
+        # zero_page, image builds — always do), skipping the split list.
+        room = (PAGE_BYTES - (vaddr & (PAGE_BYTES - 1))) // WORD_BYTES
+        if nwords <= room:
+            result = self._translate(vaddr, is_write=True, el=el)
+            self.stats.add("block_write_words", nwords)
+            if result.cacheable:
+                self.platform.caches.touch_block(result.paddr, nwords, is_write=True)
+            else:
+                self.platform.bus.write_block(result.paddr, nwords)
+            return
         for page_vaddr, page_words in self._split_pages(vaddr, nwords):
             result = self._translate(page_vaddr, is_write=True, el=el)
             self.stats.add("block_write_words", page_words)

@@ -26,11 +26,18 @@ from repro.config import CostModel, PAGE_BYTES
 from repro.errors import PermissionFault, Stage2Fault, TranslationFault
 from repro.hw.cache import CacheHierarchy
 from repro.arch.pagetable import (
-    Descriptor,
+    DESC_AP_WRITE,
+    DESC_COW,
+    DESC_NC,
+    DESC_TABLE,
+    DESC_USER,
+    DESC_VALID,
+    DESC_XN,
     LEVEL_SPAN,
     index_for_level,
     split_vaddr,
 )
+from repro.arch.pagetable import _ADDR_MASK as DESC_ADDR_MASK
 from repro.arch.registers import SystemRegisters
 from repro.utils.bitops import align_down
 from repro.utils.stats import StatSet
@@ -39,18 +46,32 @@ from repro.utils.stats import StatSet
 GLOBAL_ASID = -1
 
 
-@dataclass(frozen=True)
 class TranslationResult:
-    """Outcome of a successful translation for one 4 KB page."""
+    """Outcome of a successful translation for one 4 KB page.
 
-    paddr: int          #: physical address of the requested location
-    page_paddr: int     #: physical base of the containing 4 KB frame
-    writable: bool
-    user: bool
-    cacheable: bool
-    cow: bool
-    executable: bool
-    level: int          #: leaf level (2 for a 2 MB block, 3 for a page)
+    A plain slotted class rather than a (frozen) dataclass: one instance
+    is built per simulated memory access, and direct attribute stores
+    construct several times faster than ``object.__setattr__``.
+    """
+
+    __slots__ = ("paddr", "page_paddr", "writable", "user", "cacheable",
+                 "cow", "executable", "level")
+
+    def __init__(self, paddr: int, page_paddr: int, writable: bool,
+                 user: bool, cacheable: bool, cow: bool, executable: bool,
+                 level: int):
+        self.paddr = paddr            #: physical address of the location
+        self.page_paddr = page_paddr  #: physical base of the 4 KB frame
+        self.writable = writable
+        self.user = user
+        self.cacheable = cacheable
+        self.cow = cow
+        self.executable = executable
+        self.level = level            #: leaf level (2 = 2 MB block, 3 = page)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TranslationResult(paddr={self.paddr:#x}, "
+                f"page_paddr={self.page_paddr:#x}, level={self.level})")
 
 
 @dataclass(frozen=True)
@@ -249,7 +270,7 @@ class MMU:
         """Translate an IPA to a PA, or return it unchanged when stage 2
         is off.  Raises :class:`Stage2Fault` on a miss or write to a
         read-only stage-2 mapping."""
-        if not self.regs.stage2_enabled:
+        if not self.regs._stage2_enabled:
             return ipa
         ipage = ipa >> 12
         stage2_tlb = self.stage2_tlb
@@ -282,33 +303,44 @@ class MMU:
             raise Stage2Fault(f"stage-2 root not set for IPA {ipa:#x}", ipa, False)
         self.stats.add("stage2_walks")
         table = root
-        for level in (1, 2, 3):
-            desc_addr = table + index_for_level(ipa, level) * 8
-            raw = self.caches.read(desc_addr, cacheable=True)
-            self.caches.bus.clock.advance(self.costs.walk_step_overhead)
-            self.stats.add("stage2_desc_fetches")
-            desc = Descriptor(raw)
-            if not desc.valid:
-                raise Stage2Fault(
-                    f"stage-2 translation fault at IPA {ipa:#x} (level {level})",
-                    ipa,
-                    False,
+        # Descriptor-fetch overhead and counters are accumulated across
+        # the (<= 3) levels and folded in once — same totals as the
+        # per-level charges, one clock/StatSet update per walk.
+        fetched = 0
+        try:
+            for level in (1, 2, 3):
+                desc_addr = table + index_for_level(ipa, level) * 8
+                raw = self.caches.read(desc_addr, cacheable=True)
+                fetched += 1
+                # Decode with direct bit tests (the walk is too hot for a
+                # Descriptor object per level; bits per pagetable.py).
+                if not raw & DESC_VALID:
+                    raise Stage2Fault(
+                        f"stage-2 translation fault at IPA {ipa:#x} (level {level})",
+                        ipa,
+                        False,
+                    )
+                if level < 3 and raw & DESC_TABLE:
+                    table = raw & DESC_ADDR_MASK
+                    continue
+                # Leaf (block at level 2 or page at level 3).
+                span = LEVEL_SPAN[level]
+                base = (raw & DESC_ADDR_MASK) + (
+                    align_down(ipa, PAGE_BYTES) - align_down(ipa, span)
                 )
-            if level < 3 and desc.is_table:
-                table = desc.address
-                continue
-            # Leaf (block at level 2 or page at level 3).
-            span = LEVEL_SPAN[level]
-            base = desc.address + (align_down(ipa, PAGE_BYTES) - align_down(ipa, span))
-            return _TlbEntry(
-                page_paddr=base,
-                writable=desc.writable,
-                user=False,
-                cacheable=desc.cacheable,
-                cow=False,
-                executable=desc.executable,
-                level=level,
-            )
+                return _TlbEntry(
+                    page_paddr=base,
+                    writable=bool(raw & DESC_AP_WRITE),
+                    user=False,
+                    cacheable=not raw & DESC_NC,
+                    cow=False,
+                    executable=not raw & DESC_XN,
+                    level=level,
+                )
+        finally:
+            if fetched:
+                self.caches.bus.clock.advance(self.costs.walk_step_overhead * fetched)
+                self.stats.add("stage2_desc_fetches", fetched)
         raise AssertionError("unreachable: stage-2 walk fell through")
 
     # ------------------------------------------------------------------
@@ -337,7 +369,7 @@ class MMU:
                 executable=True,
                 level=3,
             )
-        if not self.regs.mmu_enabled:
+        if not self.regs._mmu_enabled:
             # Early boot: flat physical addressing.
             return TranslationResult(
                 paddr=vaddr,
@@ -377,7 +409,7 @@ class MMU:
             self._fast_epoch = tlb.epoch
             self._fast_entry = entry
         self._check_permissions(entry, vaddr, is_write, el, is_exec)
-        if self.regs.stage2_enabled:
+        if self.regs._stage2_enabled:
             # The cached stage-1 result holds an IPA page; combine with
             # stage 2 (its own TLB makes the common case cheap).
             pa_page = align_down(
@@ -408,35 +440,39 @@ class MMU:
             )
         self.stats.add("stage1_walks")
         table_ipa = root
-        for level in (1, 2, 3):
-            desc_ipa = table_ipa + index_for_level(offset, level) * 8
-            # Under nested paging the table pointer is an IPA: the fetch
-            # address itself needs a stage-2 translation.
-            desc_pa = self.stage2_translate(desc_ipa, is_write=False)
-            raw = self.caches.read(desc_pa, cacheable=True)
-            self.caches.bus.clock.advance(self.costs.walk_step_overhead)
-            self.stats.add("stage1_desc_fetches")
-            desc = Descriptor(raw)
-            if not desc.valid:
-                raise TranslationFault(
-                    f"translation fault at {vaddr:#x} (level {level})", vaddr=vaddr
+        fetched = 0
+        try:
+            for level in (1, 2, 3):
+                desc_ipa = table_ipa + index_for_level(offset, level) * 8
+                # Under nested paging the table pointer is an IPA: the fetch
+                # address itself needs a stage-2 translation.
+                desc_pa = self.stage2_translate(desc_ipa, is_write=False)
+                raw = self.caches.read(desc_pa, cacheable=True)
+                fetched += 1
+                if not raw & DESC_VALID:
+                    raise TranslationFault(
+                        f"translation fault at {vaddr:#x} (level {level})", vaddr=vaddr
+                    )
+                if level < 3 and raw & DESC_TABLE:
+                    table_ipa = raw & DESC_ADDR_MASK
+                    continue
+                span = LEVEL_SPAN[level]
+                page_base = (raw & DESC_ADDR_MASK) + (
+                    align_down(offset, PAGE_BYTES) - align_down(offset, span)
                 )
-            if level < 3 and desc.is_table:
-                table_ipa = desc.address
-                continue
-            span = LEVEL_SPAN[level]
-            page_base = desc.address + (
-                align_down(offset, PAGE_BYTES) - align_down(offset, span)
-            )
-            return _TlbEntry(
-                page_paddr=page_base,
-                writable=desc.writable,
-                user=desc.user,
-                cacheable=desc.cacheable,
-                cow=desc.cow,
-                executable=desc.executable,
-                level=level,
-            )
+                return _TlbEntry(
+                    page_paddr=page_base,
+                    writable=bool(raw & DESC_AP_WRITE),
+                    user=bool(raw & DESC_USER),
+                    cacheable=not raw & DESC_NC,
+                    cow=bool(raw & DESC_COW),
+                    executable=not raw & DESC_XN,
+                    level=level,
+                )
+        finally:
+            if fetched:
+                self.caches.bus.clock.advance(self.costs.walk_step_overhead * fetched)
+                self.stats.add("stage1_desc_fetches", fetched)
         raise AssertionError("unreachable: stage-1 walk fell through")
 
     @staticmethod

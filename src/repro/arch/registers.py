@@ -63,6 +63,19 @@ class SystemRegisters:
 
     def __init__(self):
         self._values: Dict[str, int] = dict(_KNOWN_REGISTERS)
+        #: Monotonic write counter.  Translation fast paths and the
+        #: macro-op memoizer use it to know the register file is
+        #: unchanged without re-reading registers.
+        self.mutations = 0
+        self._refresh_flags()
+
+    def _refresh_flags(self) -> None:
+        """Recompute the cached control-bit predicates (see properties)."""
+        values = self._values
+        hcr = values["HCR_EL2"]
+        self._stage2_enabled = bool(hcr & HCR_VM)
+        self._tvm_enabled = bool(hcr & HCR_TVM)
+        self._mmu_enabled = bool(values["SCTLR_EL1"] & SCTLR_M)
 
     def read(self, name: str) -> int:
         """Raw read of register ``name``."""
@@ -73,6 +86,9 @@ class SystemRegisters:
         """Raw write of register ``name`` (bypasses any trapping)."""
         self._require(name)
         self._values[name] = value & ((1 << 64) - 1)
+        self.mutations += 1
+        if name == "HCR_EL2" or name == "SCTLR_EL1":
+            self._refresh_flags()
 
     def set_bits(self, name: str, mask_value: int) -> None:
         """OR ``mask_value`` into the register."""
@@ -98,17 +114,19 @@ class SystemRegisters:
             self.write(name, int(value))
 
     # Convenience predicates -------------------------------------------
+    # Cached on write (``_refresh_flags``); hot paths (the MMU) read the
+    # underscored attributes directly to skip the property protocol.
     @property
     def stage2_enabled(self) -> bool:
         """True when HCR_EL2.VM is set (nested paging active)."""
-        return self.test_bits("HCR_EL2", HCR_VM)
+        return self._stage2_enabled
 
     @property
     def tvm_enabled(self) -> bool:
         """True when HCR_EL2.TVM is set (VM-register writes trap)."""
-        return self.test_bits("HCR_EL2", HCR_TVM)
+        return self._tvm_enabled
 
     @property
     def mmu_enabled(self) -> bool:
         """True when SCTLR_EL1.M is set (stage-1 translation on)."""
-        return self.test_bits("SCTLR_EL1", SCTLR_M)
+        return self._mmu_enabled

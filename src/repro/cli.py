@@ -57,7 +57,16 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
                         help="workload scale factor (default 0.25)")
 
 
+def _add_macroops(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-macroops", action="store_true",
+                        help="disable macro-op memoization (replay of "
+                        "detected periodic kernel-op cycles); results "
+                        "are bit-identical either way, only wall clock "
+                        "changes — equivalent to REPRO_MACROOPS=0")
+
+
 def _add_runner(parser: argparse.ArgumentParser) -> None:
+    _add_macroops(parser)
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for independent experiment "
                         "cells (default 1 = serial)")
@@ -493,6 +502,7 @@ def cmd_bench_simspeed(args) -> int:
 
 
 def _add_simspeed_args(parser: argparse.ArgumentParser) -> None:
+    _add_macroops(parser)
     parser.add_argument("--iters-scale", type=float, default=1.0,
                         help="scale factor on per-workload iteration counts")
     parser.add_argument("--repeats", type=int, default=3,
@@ -534,6 +544,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             add_args(sub)
         sub.set_defaults(handler=handler)
     args = parser.parse_args(argv)
+    if getattr(args, "no_macroops", False):
+        # Environment, not a parameter: the setting must reach worker
+        # processes and every system built during the command.
+        import os
+        os.environ["REPRO_MACROOPS"] = "0"
     try:
         return args.handler(args)
     except IntegrityError as exc:

@@ -15,6 +15,12 @@ Layout in secure memory (all 64-bit words)::
 
 The producer (MBM) writes with unstalling device stores; the consumer
 (Hypersec) reads with uncached loads — both charged to their own agent.
+
+Head and tail are free-running indices wrapped at ``2 * entries`` (the
+classic power-of-two ring trick): the extra bit disambiguates full from
+empty, and the stored index values stay bounded, so a quiescent ring
+returns to an identical memory image instead of carrying an
+ever-growing producer count.
 """
 
 from __future__ import annotations
@@ -77,9 +83,10 @@ class EventRingBuffer:
         """
         bus = self.bus
         base = self.base
+        wrap = 2 * self.entries
         head = bus.peek(base)
         tail = bus.peek(base + WORD_BYTES)
-        if head - tail >= self.entries:
+        if (head - tail) % wrap >= self.entries:
             self.stats.add("overflow_drops")
             return False
         entry = self._entry_addr(head)
@@ -90,7 +97,7 @@ class EventRingBuffer:
             initiator="mbm",
             charge=False,
         )
-        bus.write(base, head + 1, initiator="mbm", charge=False)
+        bus.write(base, (head + 1) % wrap, initiator="mbm", charge=False)
         self._produced += 1
         return True
 
@@ -99,7 +106,9 @@ class EventRingBuffer:
     # ------------------------------------------------------------------
     def pending(self) -> int:
         """Events waiting (backdoor peek for tests/stats)."""
-        return self.bus.peek(self.base) - self.bus.peek(self.base + WORD_BYTES)
+        head = self.bus.peek(self.base)
+        tail = self.bus.peek(self.base + WORD_BYTES)
+        return (head - tail) % (2 * self.entries)
 
     def consume_all(self, reader=None, writer=None) -> List[Tuple[int, int]]:
         """Drain every queued event with uncached (device) reads.
@@ -118,16 +127,18 @@ class EventRingBuffer:
         if writer is None:
             writer = lambda paddr, value: self.bus.write(paddr, value)  # noqa: E731
         events: List[Tuple[int, int]] = []
+        wrap = 2 * self.entries
         head = reader(self.base)
         tail = reader(self.base + WORD_BYTES)
-        if tail > head:
+        occupancy = (head - tail) % wrap
+        if occupancy > self.entries:
             raise ProtocolError("ring tail ran past head")
-        while tail < head:
+        for _ in range(occupancy):
             entry = self._entry_addr(tail)
             addr = reader(entry)
             value = reader(entry + WORD_BYTES)
             events.append((addr, value))
-            tail += 1
+            tail = (tail + 1) % wrap
         writer(self.base + WORD_BYTES, tail)
         self.stats.add("consumed", len(events))
         return events

@@ -220,6 +220,18 @@ class CacheHierarchy:
             self._uncached_reads += 1
             return self.bus.read(paddr, initiator=initiator)
         self._cached_reads += 1
+        # Inline L1-hit fast path: identical accounting to
+        # ``_ensure_resident`` (lookup-touch, batched hit counter, one
+        # l1_hit charge) without the call chain.
+        l1 = self.l1
+        if l1._line_shift is not None:
+            line = paddr & self._line_mask
+            lines = l1._sets.get((line >> l1._line_shift) & l1._set_mask)
+            if lines is not None and line in lines:
+                lines.move_to_end(line)
+                l1._hits += 1
+                self.bus.clock.advance(self.costs.l1_hit)
+                return self.bus.memory.read_word(paddr)
         self._ensure_resident(paddr, initiator)
         return self.bus.memory.read_word(paddr)
 
@@ -235,6 +247,17 @@ class CacheHierarchy:
             self.bus.write(paddr, value, initiator=initiator)
             return
         self._cached_writes += 1
+        l1 = self.l1
+        if l1._line_shift is not None:
+            line = paddr & self._line_mask
+            lines = l1._sets.get((line >> l1._line_shift) & l1._set_mask)
+            if lines is not None and line in lines:
+                lines.move_to_end(line)
+                lines[line] = True
+                l1._hits += 1
+                self.bus.clock.advance(self.costs.l1_hit)
+                self.bus.memory.write_word(paddr, value)
+                return
         self._ensure_resident(paddr, initiator)
         self.l1.mark_dirty(paddr & self._line_mask)
         self.bus.memory.write_word(paddr, value)
@@ -249,17 +272,111 @@ class CacheHierarchy:
         clear costs cache-write bandwidth rather than a fill per line.
         Word values are not tracked — this is the cacheable counterpart
         of :meth:`~repro.hw.bus.MemoryBus.write_block`.
+
+        The write path runs as one batched loop over both cache levels:
+        per-line latencies and hit/miss/eviction counters accumulate in
+        locals and fold into the clock / StatSets once per burst.  Sums
+        and event order (writebacks, DRAM row transitions) are identical
+        to the per-line reference path ``_install_dirty``, which remains
+        the fallback for non-power-of-two geometries.
         """
         if nwords <= 0:
             return
         line_bytes = self.l1.line_bytes
         first = paddr & self._line_mask
         last = (paddr + (nwords - 1) * WORD_BYTES) & self._line_mask
-        for line in range(first, last + 1, line_bytes):
-            if is_write:
+        l1 = self.l1
+        l2 = self.l2
+        if not is_write:
+            if l1._line_shift is None:
+                for line in range(first, last + 1, line_bytes):
+                    self._ensure_resident(line, initiator="cpu")
+                return
+            # Inline the L1-hit case; misses take the full path (which
+            # charges its own latency and emits its own bus traffic).
+            l1_sets = l1._sets
+            l1_shift = l1._line_shift
+            l1_mask = l1._set_mask
+            hits = 0
+            hit_cycles = 0
+            l1_hit = self.costs.l1_hit
+            ensure = self._ensure_resident
+            for line in range(first, last + 1, line_bytes):
+                lines = l1_sets.get((line >> l1_shift) & l1_mask)
+                if lines is not None and line in lines:
+                    lines.move_to_end(line)
+                    hits += 1
+                    hit_cycles += l1_hit
+                else:
+                    ensure(line, initiator="cpu")
+            if hits:
+                l1._hits += hits
+                self.bus.clock.advance(hit_cycles)
+            return
+        if l1._line_shift is None or l2._line_shift is None:
+            for line in range(first, last + 1, line_bytes):
                 self._install_dirty(line)
-            else:
-                self._ensure_resident(line, initiator="cpu")
+            return
+        # ---- batched streaming-store path --------------------------------
+        l1_sets = l1._sets
+        l1_shift = l1._line_shift
+        l1_mask = l1._set_mask
+        l1_ways = l1.ways
+        l2_sets = l2._sets
+        l2_shift = l2._line_shift
+        l2_mask = l2._set_mask
+        l2_ways = l2.ways
+        writeback = self.bus.writeback_line
+        l1_hits = 0
+        l1_misses = 0
+        l1_evictions = 0
+        l1_dirty_evictions = 0
+        l2_evictions = 0
+        l2_dirty_evictions = 0
+        nlines = 0
+        for line in range(first, last + 1, line_bytes):
+            nlines += 1
+            lines = l1_sets.get((line >> l1_shift) & l1_mask)
+            if lines is None:
+                lines = l1_sets[(line >> l1_shift) & l1_mask] = OrderedDict()
+            elif line in lines:
+                lines.move_to_end(line)
+                lines[line] = True
+                l1_hits += 1
+                continue
+            l1_misses += 1
+            if len(lines) >= l1_ways:
+                ev_addr, ev_dirty = lines.popitem(last=False)
+                l1_evictions += 1
+                if ev_dirty:
+                    l1_dirty_evictions += 1
+                # L1 victim folds into L2 (dirty bit merges).
+                l2_lines = l2_sets.get((ev_addr >> l2_shift) & l2_mask)
+                if l2_lines is None:
+                    l2_lines = l2_sets[(ev_addr >> l2_shift) & l2_mask] = OrderedDict()
+                if ev_addr in l2_lines:
+                    l2_lines[ev_addr] = l2_lines[ev_addr] or ev_dirty
+                    l2_lines.move_to_end(ev_addr)
+                else:
+                    if len(l2_lines) >= l2_ways:
+                        d_addr, d_dirty = l2_lines.popitem(last=False)
+                        l2_evictions += 1
+                        if d_dirty:
+                            l2_dirty_evictions += 1
+                            writeback(d_addr, initiator="cpu")
+                    l2_lines[ev_addr] = ev_dirty
+            lines[line] = True
+        l1._hits += l1_hits
+        l1._misses += l1_misses
+        if l1_evictions:
+            l1.stats.add("evictions", l1_evictions)
+        if l1_dirty_evictions:
+            l1.stats.add("dirty_evictions", l1_dirty_evictions)
+        if l2_evictions:
+            l2.stats.add("evictions", l2_evictions)
+        if l2_dirty_evictions:
+            l2.stats.add("dirty_evictions", l2_dirty_evictions)
+        self.bus.clock.advance(self.costs.l1_hit * nlines)
 
     def _install_dirty(self, line: int) -> None:
         """Install a whole line dirty without fetching it (streaming)."""

@@ -205,6 +205,16 @@ class PhysicalMemory:
             else self._locate(paddr)
         )
         end = paddr + nwords * WORD_BYTES
+        if end <= self._last_limit:
+            # Fast path: the run lies in one range; if it also lies in one
+            # chunk, unpack straight from the backing bytearray (no copy).
+            offset = paddr - self._last_base
+            low = offset & _CHUNK_MASK
+            if low + nwords * WORD_BYTES <= _CHUNK_BYTES:
+                chunk = chunks.get(offset >> _CHUNK_SHIFT)
+                if chunk is None:
+                    return [0] * nwords
+                return list(struct.unpack_from(f"<{nwords}Q", chunk, low))
         span_end = min(end, self._last_limit)
         span_words = (span_end - paddr) // WORD_BYTES
         data = self._read_span(chunks, paddr - self._last_base, span_words)

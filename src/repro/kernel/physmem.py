@@ -23,6 +23,7 @@ Hypernel.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.config import PAGE_BYTES, SECTION_BYTES
@@ -40,7 +41,14 @@ from repro.utils.stats import StatSet
 
 
 class PageAllocator:
-    """Free-list allocator for 4 KB physical pages."""
+    """Address-ordered allocator for 4 KB physical pages.
+
+    The free pool is a min-heap keyed by physical address, so ``alloc``
+    always hands out the lowest free page (as a buddy allocator would).
+    This makes the allocator's state a function of the free *set* alone:
+    a closed allocate/free cycle restores it exactly, independent of the
+    order the pages came back in.
+    """
 
     def __init__(self, base: int, limit: int):
         if not is_aligned(base, PAGE_BYTES) or not is_aligned(limit, PAGE_BYTES):
@@ -49,37 +57,42 @@ class PageAllocator:
             raise ConfigurationError("allocator range is empty")
         self.base = base
         self.limit = limit
-        self._free: List[int] = list(range(limit - PAGE_BYTES, base - 1, -PAGE_BYTES))
+        self._free: List[int] = list(range(base, limit, PAGE_BYTES))
         self._allocated: Dict[int, str] = {}
         self.stats = StatSet("page_allocator")
 
     def alloc(self, purpose: str = "anon") -> int:
-        """Allocate one page; returns its physical address."""
+        """Allocate the lowest free page; returns its physical address."""
         if not self._free:
             raise AllocationError("out of physical pages")
-        paddr = self._free.pop()
+        paddr = heapq.heappop(self._free)
         self._allocated[paddr] = purpose
         self.stats.add(f"alloc.{purpose}")
         return paddr
 
     def free(self, paddr: int) -> None:
-        """Return a page to the free list."""
+        """Return a page to the free pool."""
         purpose = self._allocated.pop(paddr, None)
         if purpose is None:
             raise AllocationError(f"freeing unallocated page {paddr:#x}")
         self.stats.add(f"free.{purpose}")
-        self._free.append(paddr)
+        heapq.heappush(self._free, paddr)
 
     def purpose_of(self, paddr: int) -> Optional[str]:
         """Purpose tag of an allocated page, or ``None``."""
         return self._allocated.get(paddr)
 
     def state_dict(self) -> dict:
-        """Exact free-list order (allocation order depends on it)."""
+        """Free pages in canonical (sorted) order.
+
+        Allocation order is address-ordered, so the free *set* fully
+        determines future behaviour; the heap's internal layout does
+        not need to be preserved.
+        """
         return {
             "base": self.base,
             "limit": self.limit,
-            "free": list(self._free),
+            "free": sorted(self._free),
             "allocated": [[paddr, purpose]
                           for paddr, purpose in self._allocated.items()],
             "stats": self.stats.state_dict(),
@@ -89,6 +102,7 @@ class PageAllocator:
         self.base = int(state["base"])
         self.limit = int(state["limit"])
         self._free = [int(p) for p in state["free"]]
+        heapq.heapify(self._free)
         self._allocated = {int(p): str(purpose)
                            for p, purpose in state["allocated"]}
         self.stats.load_state(state["stats"])

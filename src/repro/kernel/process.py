@@ -10,8 +10,9 @@ to the sibling core, a world-switch-expensive event under KVM).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.config import PAGE_BYTES
 from repro.errors import SimulationError
@@ -54,7 +55,18 @@ class ProcessManager:
         self.tasks: Dict[int, Task] = {}
         self.current: Optional[Task] = None
         self._next_pid = 1
+        # Freed pids are recycled lowest-first (classic UNIX pid
+        # allocation).  This keeps a fork/exit-heavy steady state
+        # periodic instead of letting pid values grow without bound.
+        self._free_pids: List[int] = []
         self.stats = StatSet("process")
+
+    def _alloc_pid(self) -> int:
+        if self._free_pids:
+            return heapq.heappop(self._free_pids)
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
 
     def state_dict(self) -> dict:
         """Tasks in table order; ``parent`` is encoded as a pid."""
@@ -75,6 +87,7 @@ class ProcessManager:
             ],
             "current": self.current.pid if self.current else None,
             "next_pid": self._next_pid,
+            "free_pids": sorted(self._free_pids),
             "stats": self.stats.state_dict(),
         }
 
@@ -102,6 +115,8 @@ class ProcessManager:
         current = state["current"]
         self.current = None if current is None else self.tasks[int(current)]
         self._next_pid = int(state["next_pid"])
+        self._free_pids = [int(pid) for pid in state.get("free_pids", [])]
+        heapq.heapify(self._free_pids)
         self.stats.load_state(state["stats"])
 
     # ------------------------------------------------------------------
@@ -168,10 +183,10 @@ class ProcessManager:
         mm = kernel.vmm.create_mm()
         self._build_image(mm)
         cred_pa = self._alloc_cred(uid=0, gid=0, caps=(1 << 40) - 1)
-        task_pa = self._alloc_task_struct(1, cred_pa, 0)
-        task = Task(pid=self._next_pid, task_pa=task_pa, cred_pa=cred_pa,
+        pid = self._alloc_pid()
+        task_pa = self._alloc_task_struct(pid, cred_pa, 0)
+        task = Task(pid=pid, task_pa=task_pa, cred_pa=cred_pa,
                     mm=mm, name="init")
-        self._next_pid += 1
         self.tasks[task.pid] = task
         self.current = task
         kernel.cpu.msr("TTBR0_EL1", mm.pgd)
@@ -207,13 +222,12 @@ class ProcessManager:
         usage = kernel.read_field(parent.cred_pa, CRED, "usage")
         kernel.write_field(parent.cred_pa, CRED, "usage", usage + 1)
         kernel.write_field(parent.cred_pa, CRED, "usage", usage)
-        task_pa = self._alloc_task_struct(self._next_pid, cred_pa,
-                                          parent.task_pa)
+        pid = self._alloc_pid()
+        task_pa = self._alloc_task_struct(pid, cred_pa, parent.task_pa)
         child_mm = kernel.vmm.fork_mm(parent.mm)
-        child = Task(pid=self._next_pid, task_pa=task_pa, cred_pa=cred_pa,
+        child = Task(pid=pid, task_pa=task_pa, cred_pa=cred_pa,
                      mm=child_mm, parent=parent, name=f"{parent.name}-child",
                      sigactions=dict(parent.sigactions))
-        self._next_pid += 1
         self.tasks[child.pid] = child
         self.stats.add("forks")
         return child
@@ -258,6 +272,7 @@ class ProcessManager:
         kernel.slab.cache(TASK_STRUCT).free(task.task_pa)
         task.state = "dead"
         del self.tasks[task.pid]
+        heapq.heappush(self._free_pids, task.pid)
         if self.current is task:
             self.current = None
         self.stats.add("exits")

@@ -10,6 +10,7 @@ overheads in Table 1.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
@@ -108,6 +109,10 @@ class UserVmm:
     def __init__(self, kernel: "Kernel"):
         self.kernel = kernel
         self._next_asid = 1
+        # Hardware ASIDs are a small finite namespace; destroyed address
+        # spaces return theirs to the pool (lowest-first reuse), exactly
+        # as an ASID-rollover kernel would after a generation bump.
+        self._free_asids: List[int] = []
         self._page_refs: Dict[int, int] = {}
         self.stats = StatSet("vmm")
 
@@ -115,6 +120,7 @@ class UserVmm:
         """Per-MM state lives with its owning task (ProcessManager)."""
         return {
             "next_asid": self._next_asid,
+            "free_asids": sorted(self._free_asids),
             "page_refs": [[paddr, refs]
                           for paddr, refs in self._page_refs.items()],
             "stats": self.stats.state_dict(),
@@ -122,6 +128,8 @@ class UserVmm:
 
     def load_state(self, state: dict) -> None:
         self._next_asid = int(state["next_asid"])
+        self._free_asids = [int(a) for a in state.get("free_asids", [])]
+        heapq.heapify(self._free_asids)
         self._page_refs = {int(paddr): int(refs)
                            for paddr, refs in state["page_refs"]}
         self.stats.load_state(state["stats"])
@@ -131,8 +139,12 @@ class UserVmm:
     # ------------------------------------------------------------------
     def create_mm(self) -> MM:
         pgd = self._alloc_table(is_root=True)
-        mm = MM(pgd=pgd, asid=self._next_asid)
-        self._next_asid += 1
+        if self._free_asids:
+            asid = heapq.heappop(self._free_asids)
+        else:
+            asid = self._next_asid
+            self._next_asid += 1
+        mm = MM(pgd=pgd, asid=asid)
         self.stats.add("mm_created")
         return mm
 
@@ -148,6 +160,7 @@ class UserVmm:
         kernel.pgwriter.on_table_free(mm.pgd)
         kernel.allocator.free(mm.pgd)
         kernel.cpu.tlbi_asid(mm.asid)
+        heapq.heappush(self._free_asids, mm.asid)
         self.stats.add("mm_destroyed")
 
     def _alloc_table(self, is_root: bool = False) -> int:

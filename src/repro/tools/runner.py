@@ -228,6 +228,8 @@ def cache_key(cell: Cell) -> Optional[str]:
     """Content hash for a cell, or ``None`` if it cannot be cached."""
     if not cell.cacheable:
         return None
+    from repro.tools.macroops import memoization_enabled
+
     document = {
         "schema": CACHE_SCHEMA,
         "version": __version__,
@@ -236,6 +238,10 @@ def cache_key(cell: Cell) -> Optional[str]:
         "workload": cell.workload,
         "spec": cell.spec,
         "costs": cost_fingerprint(cell.platform_config),
+        # Payload rows/accesses/cycles are identical either way, but
+        # the embedded metrics carry the memoizer's counters, so the
+        # two modes must not share cache entries.
+        "macroops": memoization_enabled(),
     }
     try:
         blob = json.dumps(document, sort_keys=True)
@@ -424,12 +430,23 @@ def _default_executor_factory(jobs: int):
     return ProcessPoolExecutor(max_workers=jobs)
 
 
-def _resolve_backend(backend: str, jobs: int, executor_factory) -> str:
+#: Minimum number of *uncached* cells before ``auto`` considers a
+#: parallel backend.  Below this, process spin-up dominates: the whole
+#: table1 grid is 3 cells and ran *slower* under the 4-job pool (1.53s)
+#: than serial (1.24s).  Explicit ``backend=``/``REPRO_BENCH_BACKEND``
+#: choices are unaffected — the threshold only shapes ``auto``.
+AUTO_MIN_CELLS = 8
+
+
+def _resolve_backend(backend: str, jobs: int, executor_factory,
+                     pending: Optional[int] = None) -> str:
     """Pick the concrete backend: env override > argument > heuristic.
 
     ``REPRO_BENCH_BACKEND`` wins over the argument (CI uses it to force
     the pool fallback fleet-wide without threading a flag through every
-    entry point).  ``auto`` resolves to the fork server when the
+    entry point).  ``auto`` resolves to serial when fewer than
+    :data:`AUTO_MIN_CELLS` cells actually need computing (``pending``,
+    when the caller knows it), else to the fork server when the
     platform can fork and ``jobs > 1``, else to the pool — which itself
     degrades to serial below (unchanged legacy behavior).  A caller
     supplying ``executor_factory`` is handed the pool path: the factory
@@ -441,6 +458,8 @@ def _resolve_backend(backend: str, jobs: int, executor_factory) -> str:
             f"unknown backend {choice!r}; choose from {', '.join(BACKENDS)}"
         )
     if choice == "auto":
+        if pending is not None and pending < AUTO_MIN_CELLS:
+            return "serial"
         from repro.tools import forkserver
 
         choice = ("forkserver"
@@ -483,8 +502,11 @@ def run_cells(
       (persistent warm server per environment, one copy-on-write child
       per cell — see :mod:`repro.tools.forkserver`), ``pool``
       (``executor_factory(jobs)``, default ``ProcessPoolExecutor``),
-      ``serial`` (in-process), or ``auto`` (fork server when the
-      platform can fork and ``jobs > 1``, else pool).  The
+      ``serial`` (in-process), or ``auto`` (serial when fewer than
+      :data:`AUTO_MIN_CELLS` uncached cells remain — tiny grids lose
+      more to process spin-up than they gain from fan-out — else fork
+      server when the platform can fork and ``jobs > 1``, else pool).
+      The
       ``REPRO_BENCH_BACKEND`` environment variable overrides the
       argument.  Each step degrades gracefully: no ``fork`` → pool,
       no pool (or ``jobs=1``, or a single pending cell) → serial.
@@ -525,7 +547,6 @@ def run_cells(
             )
         return payloads  # type: ignore[return-value]
 
-    resolved = _resolve_backend(backend, jobs, executor_factory)
     results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
     pending: List[int] = []
     for index, cell in enumerate(cells):
@@ -534,6 +555,12 @@ def run_cells(
             results[index] = payload
         else:
             pending.append(index)
+
+    # Resolve after the cache pass so ``auto`` sees the true amount of
+    # work left (a warm cache or a tiny grid should never pay process
+    # spin-up).  Resolving on the empty list still validates the name.
+    resolved = _resolve_backend(backend, jobs, executor_factory,
+                                pending=len(pending))
 
     if pending:
         if resolved == "forkserver":

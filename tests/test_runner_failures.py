@@ -71,8 +71,9 @@ class TestPoolFailures:
                  spec={"mode": "sleep", "seconds": 2.0}, cacheable=False)
             for i in range(2)
         ]
+        # Explicit pool: ``auto`` would stay serial for a 2-cell grid.
         with pytest.raises(RunnerError, match=r"selftest:sleepy0:nap.*timed out"):
-            run_cells(cells, jobs=2, timeout=0.2)
+            run_cells(cells, jobs=2, timeout=0.2, backend="pool")
 
     def test_nonpositive_jobs_rejected(self):
         with pytest.raises(ValueError, match="jobs"):
