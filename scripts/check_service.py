@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Service smoke gate: daemon round trip, warm pools, streamed metrics.
+
+Boots a real ``python -m repro serve`` daemon on a private socket and
+drives it the way a tenant would, gating the ``repro.service``
+contract (DESIGN.md §5g):
+
+1. a small Table 1 batch submitted through ``reproctl``'s client path
+   returns payloads **byte-identical** to a local serial ``run_cells``
+   run, and the merged table renders identically;
+2. a second batch on the same environments rides the **warm pool**:
+   its per-job pool accounting must show zero cold boots (skipped when
+   the platform cannot fork — the daemon runs serially there);
+3. the streamed per-cell metrics are written as JSONL for
+   ``scripts/check_integrity.py --jsonl`` — CI chains the two so the
+   daemon provably streams the same enforceable integrity evidence the
+   in-process runner produces;
+4. SIGTERM drains cleanly: exit code 0, socket unlinked.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_service.py
+    PYTHONPATH=src python scripts/check_service.py --jsonl streamed.jsonl
+    PYTHONPATH=src python scripts/check_integrity.py --jsonl streamed.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.monitoring import table2_cells  # noqa: E402
+from repro.analysis.tables import merge_table1, table1_cells  # noqa: E402
+from repro.config import PlatformConfig  # noqa: E402
+from repro.service.client import ReproServiceClient  # noqa: E402
+from repro.tools import forkserver  # noqa: E402
+from repro.tools.runner import run_cells  # noqa: E402
+
+GATE_OPS = ["syscall stat", "signal install"]
+
+
+def small_platform() -> PlatformConfig:
+    return PlatformConfig(
+        dram_bytes=64 * 1024 * 1024, secure_bytes=8 * 1024 * 1024
+    )
+
+
+def boot_daemon(socket_path: str, cache_dir: str) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"),
+               REPRO_CACHE_DIR=cache_dir)
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", socket_path,
+         "--jobs", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, cwd=str(REPO_ROOT),
+    )
+    deadline = time.monotonic() + 30
+    while not os.path.exists(socket_path):
+        if daemon.poll() is not None:
+            print(daemon.communicate()[0])
+            raise SystemExit("FAIL: daemon exited before binding")
+        if time.monotonic() > deadline:
+            daemon.kill()
+            raise SystemExit("FAIL: daemon never bound its socket")
+        time.sleep(0.1)
+    return daemon
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jsonl", default=None, metavar="PATH",
+                        help="where to write the streamed metrics records "
+                        "(default: a temp file, path printed)")
+    parser.add_argument("--warmup", type=int, default=1)
+    parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="workload scale for the monitored (table2) "
+                        "batch that feeds the integrity gate")
+    args = parser.parse_args(argv)
+
+    workdir = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    socket_path = os.path.join(workdir, "serve.sock")
+    cache_dir = os.path.join(workdir, "cache")
+    jsonl_path = args.jsonl or os.path.join(workdir, "streamed.jsonl")
+    failures = 0
+
+    daemon = boot_daemon(socket_path, cache_dir)
+    try:
+        cells = table1_cells(small_platform, warmup=args.warmup,
+                             iterations=args.iterations, ops=GATE_OPS)
+        with ReproServiceClient(socket_path=socket_path, timeout=600,
+                                client="smoke") as client:
+            served = client.run_cells(cells, label="smoke-table1")
+
+            # 1. byte-identity vs a local serial run
+            serial = run_cells(cells, backend="serial", cache=None,
+                               integrity="enforce")
+            # No sort_keys: payload dict order is semantic (table rows
+            # render in counts order) and must survive the wire exactly.
+            if json.dumps(served) != json.dumps(serial):
+                print("FAIL: daemon payloads differ from serial run_cells")
+                failures += 1
+            elif (merge_table1(cells, served).format()
+                    != merge_table1(cells, serial).format()):
+                print("FAIL: merged tables render differently")
+                failures += 1
+            else:
+                print("ok: daemon round trip byte-identical to serial "
+                      f"({len(cells)} cells)")
+
+            # 2. second batch rides the warm pool (different spec, same
+            # environments -> cache miss, warm dispatch)
+            warm_cells = table1_cells(
+                small_platform, warmup=args.warmup,
+                iterations=args.iterations + 1, ops=GATE_OPS)
+            reply = client.submit(warm_cells, label="smoke-warm",
+                                  stream=False)
+            final = client.result(reply["job"], wait=True)
+            pool = final.get("pool", {})
+            if final["state"] != "done":
+                print(f"FAIL: warm batch ended {final['state']}: "
+                      f"{final.get('error')}")
+                failures += 1
+            elif not forkserver.fork_available():
+                print("skip: warm-pool accounting (no os.fork here)")
+            elif pool.get("cold_boots", 0) != 0:
+                print(f"FAIL: second batch paid {pool['cold_boots']} cold "
+                      f"boot(s); the pool was not shared warm")
+                failures += 1
+            elif pool.get("warm_dispatches", 0) < len(warm_cells):
+                print(f"FAIL: second batch warm-dispatched only "
+                      f"{pool.get('warm_dispatches', 0)}/{len(warm_cells)} "
+                      f"cells")
+                failures += 1
+            else:
+                print(f"ok: warm batch — 0 cold boots, "
+                      f"{pool['warm_dispatches']} warm dispatches")
+
+            # 3. streamed metrics out to JSONL for the integrity gate.
+            # Table 1 is Hypersec-only (no MBM), so its checks are
+            # vacuous; a small monitored (table2) batch drives the full
+            # MBM pipeline and gives the gate real checks to verify.
+            mon_cells = table2_cells(scale=args.scale,
+                                     platform_factory=small_platform)
+            monitored = client.run_cells(mon_cells, label="smoke-table2")
+            with open(jsonl_path, "w", encoding="utf-8") as handle:
+                for cell, payload in zip(cells + mon_cells,
+                                         served + monitored):
+                    record = {"label": cell.label(),
+                              "metrics": payload.get("metrics", {})}
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            print(f"streamed metrics written: {jsonl_path} "
+                  f"({len(cells) + len(mon_cells)} records)")
+
+        # 4. graceful SIGTERM drain
+        daemon.send_signal(signal.SIGTERM)
+        out, _ = daemon.communicate(timeout=60)
+        if daemon.returncode != 0:
+            print(f"FAIL: daemon exited {daemon.returncode} on SIGTERM:\n"
+                  f"{out}")
+            failures += 1
+        elif os.path.exists(socket_path):
+            print("FAIL: daemon left its socket behind after draining")
+            failures += 1
+        else:
+            print("ok: SIGTERM drain clean (exit 0, socket unlinked)")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.communicate()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

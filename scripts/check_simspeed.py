@@ -257,6 +257,15 @@ def main(argv=None) -> int:
                         "when the fork-server backend is in effect)")
     args = parser.parse_args(argv)
 
+    # Fail fast on a mistyped backend override: a bad value used to be
+    # reported as "backend not in effect" (silently skipping the
+    # fork-server gate) instead of stopping the run.
+    forced_backend = os.environ.get("REPRO_BENCH_BACKEND")
+    if forced_backend:
+        from repro.tools.runner import validate_backend
+
+        validate_backend(forced_backend, source="REPRO_BENCH_BACKEND")
+
     results = perf.run_simspeed(iters_scale=args.iters_scale,
                                 repeats=args.repeats)
     print(perf.format_report(results))

@@ -146,6 +146,29 @@ def execute_cell(cell: Cell) -> Dict[str, Any]:
     return execute_cell_on(cell, cell_system(cell))
 
 
+def merge_figure6(
+    cells: List[Cell], payloads: List[Dict[str, Any]]
+) -> Figure6Result:
+    """Fold per-cell payloads into a :class:`Figure6Result`.
+
+    Shared by :func:`run_figure6` and the ``reproctl`` client, so a
+    figure assembled from daemon-streamed payloads is byte-identical to
+    one produced by a local serial run.
+    """
+    result = Figure6Result()
+    for cell, payload in zip(cells, payloads):
+        for app_name, microseconds in payload["raw_us"].items():
+            result.raw_us.setdefault(app_name, {})[cell.environment] = microseconds
+        if "metrics" in payload:
+            result.health[cell.environment] = payload["metrics"]
+    for app_name, row in result.raw_us.items():
+        native = row["native"]
+        result.normalized[app_name] = {
+            system: row[system] / native for system in SYSTEMS
+        }
+    return result
+
+
 def run_figure6(
     scale: float = 0.25,
     platform_factory: Optional[Callable[[], PlatformConfig]] = None,
@@ -165,7 +188,6 @@ def run_figure6(
     ``enforce_integrity`` fails the run (IntegrityError) if any cell's
     monitoring pipeline lost events; ``waive`` accepts named checks.
     """
-    result = Figure6Result()
     cells = figure6_cells(scale, platform_factory, apps)
     if warm_start:
         attach_boot_snapshots(
@@ -175,14 +197,4 @@ def run_figure6(
         cells, jobs=jobs, cache=cache, backend=backend,
         integrity="enforce" if enforce_integrity else "ignore", waive=waive,
     )
-    for cell, payload in zip(cells, payloads):
-        for app_name, microseconds in payload["raw_us"].items():
-            result.raw_us.setdefault(app_name, {})[cell.environment] = microseconds
-        if "metrics" in payload:
-            result.health[cell.environment] = payload["metrics"]
-    for app_name, row in result.raw_us.items():
-        native = row["native"]
-        result.normalized[app_name] = {
-            system: row[system] / native for system in SYSTEMS
-        }
-    return result
+    return merge_figure6(cells, payloads)

@@ -163,6 +163,24 @@ def execute_cell(cell: Cell) -> Dict[str, Any]:
     return execute_cell_on(cell, cell_system(cell))
 
 
+def merge_table2(
+    cells: List[Cell], payloads: List[Dict[str, Any]], scale: float
+) -> Table2Result:
+    """Fold per-cell payloads into a :class:`Table2Result`.
+
+    Shared by :func:`run_table2` and the ``reproctl`` client, so a table
+    assembled from daemon-streamed payloads is byte-identical to one
+    produced by a local serial run.
+    """
+    result = Table2Result(scale=scale)
+    for cell, payload in zip(cells, payloads):
+        for app_name, delta in payload["counts"].items():
+            result.counts.setdefault(app_name, {})[cell.environment] = delta
+        if "metrics" in payload:
+            result.health[cell.environment] = payload["metrics"]
+    return result
+
+
 def run_table2(
     scale: float = 0.25,
     platform_factory: Optional[Callable[[], PlatformConfig]] = None,
@@ -183,7 +201,6 @@ def run_table2(
     pipeline lost events — for Table 2 that means the trap counts
     themselves would be short; ``waive`` accepts named checks.
     """
-    result = Table2Result(scale=scale)
     cells = table2_cells(scale, platform_factory, apps)
     if warm_start:
         attach_boot_snapshots(
@@ -193,9 +210,4 @@ def run_table2(
         cells, jobs=jobs, cache=cache, backend=backend,
         integrity="enforce" if enforce_integrity else "ignore", waive=waive,
     )
-    for cell, payload in zip(cells, payloads):
-        for app_name, delta in payload["counts"].items():
-            result.counts.setdefault(app_name, {})[cell.environment] = delta
-        if "metrics" in payload:
-            result.health[cell.environment] = payload["metrics"]
-    return result
+    return merge_table2(cells, payloads, scale)

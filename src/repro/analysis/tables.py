@@ -137,6 +137,26 @@ def execute_cell(cell: Cell) -> Dict[str, Any]:
     return execute_cell_on(cell, cell_system(cell))
 
 
+def merge_table1(
+    cells: List[Cell], payloads: List[Dict[str, Any]],
+    ops: Optional[List[str]] = None,
+) -> Table1Result:
+    """Fold per-cell payloads into a :class:`Table1Result`.
+
+    Shared by :func:`run_table1` and the ``reproctl`` client, so a table
+    assembled from daemon-streamed payloads is byte-identical to one
+    produced by a local serial run.
+    """
+    ops = list(ops or (cells[0].spec["ops"] if cells else LMBENCH_OPS))
+    result = Table1Result(rows={op: {} for op in ops})
+    for cell, payload in zip(cells, payloads):
+        for op in ops:
+            result.rows[op][cell.environment] = payload["rows"][op]
+        if "metrics" in payload:
+            result.health[cell.environment] = payload["metrics"]
+    return result
+
+
 def run_table1(
     platform_factory: Optional[Callable[[], PlatformConfig]] = None,
     warmup: int = 4,
@@ -168,10 +188,4 @@ def run_table1(
         cells, jobs=jobs, cache=cache, backend=backend,
         integrity="enforce" if enforce_integrity else "ignore", waive=waive,
     )
-    result = Table1Result(rows={op: {} for op in ops})
-    for cell, payload in zip(cells, payloads):
-        for op in ops:
-            result.rows[op][cell.environment] = payload["rows"][op]
-        if "metrics" in payload:
-            result.health[cell.environment] = payload["metrics"]
-    return result
+    return merge_table1(cells, payloads, ops)

@@ -25,11 +25,18 @@ Commands:
 * ``cache`` — inspect (``cache info``) or garbage-collect
   (``cache prune``) the content-addressed result cache and its
   warm-start boot snapshots.
+* ``serve`` — run the experiment service daemon: a unix-socket job
+  queue dispatching onto warm fork-server pools shared across clients
+  (repro.service; see DESIGN.md §5g).
+* ``reproctl`` — client for a running daemon: ``submit`` a
+  table1/figure6/table2 batch and stream its cells, ``status``,
+  ``result``, ``cancel``, ``stats``, ``tail-metrics``, ``shutdown``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -516,6 +523,233 @@ def _add_simspeed_args(parser: argparse.ArgumentParser) -> None:
                         help="allowed wall-clock slowdown vs baseline (default 0.20)")
 
 
+def cmd_serve(args) -> int:
+    from repro.service.daemon import DaemonConfig, ReproDaemon
+    from repro.service.protocol import ServiceError
+
+    config = DaemonConfig(
+        socket_path=args.socket,
+        jobs=args.jobs,
+        quota=args.quota,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+    )
+    try:
+        daemon = ReproDaemon(config)
+    except ValueError as exc:  # bad REPRO_BENCH_BACKEND / --backend
+        print(f"error: {exc}")
+        return 2
+    path = config.resolved_socket_path()
+    print(f"repro serve: listening on {path} "
+          f"(backend={daemon.backend}, jobs={config.jobs}, "
+          f"quota={config.quota})")
+    try:
+        daemon.serve()
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 1
+    print("repro serve: drained and stopped")
+    return 0
+
+
+def _add_serve_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help="unix socket to listen on (default "
+                        "REPRO_SERVICE_SOCKET or a per-user tmp path)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="concurrent cells per dispatch chunk "
+                        "(default 2)")
+    parser.add_argument("--quota", type=int, default=8,
+                        help="max unfinished jobs per client (default 8)")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "forkserver", "pool", "serial"],
+                        help="cell execution backend; auto keeps a warm "
+                        "fork-server pool when the platform supports it "
+                        "(overridable via REPRO_BENCH_BACKEND)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every cell, bypassing the shared "
+                        "content-addressed result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache directory (default "
+                        "REPRO_CACHE_DIR or benchmarks/.cache)")
+
+
+#: reproctl experiment name -> cell builder + result merger.  Kept as
+#: thin lambdas so the analysis modules import lazily.
+def _reproctl_experiments():
+    from repro.analysis import figures, monitoring, tables
+
+    return {
+        "table1": {
+            "cells": lambda args, factory: tables.table1_cells(
+                platform_factory=factory),
+            "merge": lambda cells, payloads, args: tables.merge_table1(
+                cells, payloads),
+        },
+        "figure6": {
+            "cells": lambda args, factory: figures.figure6_cells(
+                scale=args.scale, platform_factory=factory),
+            "merge": lambda cells, payloads, args: figures.merge_figure6(
+                cells, payloads),
+        },
+        "table2": {
+            "cells": lambda args, factory: monitoring.table2_cells(
+                scale=args.scale, platform_factory=factory),
+            "merge": lambda cells, payloads, args: monitoring.merge_table2(
+                cells, payloads, args.scale),
+        },
+    }
+
+
+def cmd_reproctl(args) -> int:
+    from repro.obs.service import ServiceStats
+    from repro.service.client import ReproServiceClient, ServiceError
+
+    client = ReproServiceClient(
+        socket_path=args.socket, client=args.client or None
+    )
+    try:
+        if args.action == "submit":
+            experiments = _reproctl_experiments()
+            spec = experiments[args.experiment]
+            factory = lambda: _platform_config(args)  # noqa: E731
+            cells = spec["cells"](args, factory)
+            label = args.label or args.experiment
+            with client:
+                if args.detach:
+                    reply = client.submit(
+                        cells, priority=args.priority, label=label,
+                        integrity=("ignore" if args.no_enforce
+                                   else "enforce"),
+                        waive=tuple(args.waive), stream=False,
+                    )
+                    print(f"submitted {reply['job']} "
+                          f"({reply['cells']} cells, "
+                          f"priority {reply['priority']}); poll with "
+                          f"'reproctl result {reply['job']}'")
+                    return 0
+                payloads = client.run_cells(
+                    cells, priority=args.priority, label=label,
+                    integrity="ignore" if args.no_enforce else "enforce",
+                    waive=tuple(args.waive),
+                    on_cell=lambda event: print(
+                        f"[{event['completed']}/{event['cells']}] "
+                        f"{event['label']}", file=sys.stderr),
+                )
+            print(spec["merge"](cells, payloads, args).format())
+            return 0
+        if args.action == "status":
+            with client:
+                reply = client.status(args.job)
+            if args.job is not None:
+                for key, value in sorted(reply.items()):
+                    if key != "ok":
+                        print(f"  {key}: {value}")
+                return 0
+            jobs = reply["jobs"]
+            if not jobs:
+                print("no jobs")
+            for info in jobs:
+                print(f"  {info['job']} {info['state']:9s} "
+                      f"client={info['client']} "
+                      f"{info['completed']}/{info['cells']} cells "
+                      f"({info['label'] or 'unlabelled'})")
+            return 0
+        if args.action == "result":
+            with client:
+                reply = client.result(args.job, wait=not args.no_wait)
+            if reply["state"] != "done":
+                print(f"job {args.job}: {reply['state']} "
+                      f"({reply.get('error')})")
+                return 1
+            print(json.dumps(reply["payloads"], indent=2, sort_keys=True))
+            return 0
+        if args.action == "cancel":
+            with client:
+                reply = client.cancel(args.job)
+            print(f"job {args.job}: {reply['state']}"
+                  + (" (cancel requested)" if reply["state"] == "running"
+                     else ""))
+            return 0
+        if args.action == "tail-metrics":
+            with client:
+                for snapshot in client.tail_metrics(
+                        interval=args.interval, count=args.count):
+                    if args.json:
+                        print(json.dumps(snapshot, sort_keys=True),
+                              flush=True)
+                    else:
+                        print(ServiceStats.from_dict(snapshot).format(),
+                              flush=True)
+            return 0
+        if args.action == "stats":
+            with client:
+                print(ServiceStats.from_dict(client.stats()).format())
+            return 0
+        if args.action == "shutdown":
+            with client:
+                client.shutdown()
+            print("daemon is draining")
+            return 0
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 1
+    except KeyboardInterrupt:
+        return 130
+    raise AssertionError(f"unhandled reproctl action {args.action!r}")
+
+
+def _add_reproctl_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help="daemon unix socket (default "
+                        "REPRO_SERVICE_SOCKET or the per-user tmp path)")
+    parser.add_argument("--client", default="", metavar="NAME",
+                        help="client name for quota/metrics attribution")
+    actions = parser.add_subparsers(dest="action", required=True)
+    submit = actions.add_parser(
+        "submit", help="run an experiment through the daemon and print "
+        "the merged result (byte-identical to the local command)")
+    submit.add_argument("experiment",
+                        choices=["table1", "figure6", "table2"])
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first (FIFO within a priority)")
+    submit.add_argument("--label", default="",
+                        help="job label shown in status/metrics")
+    submit.add_argument("--detach", action="store_true",
+                        help="submit without streaming; print the job id "
+                        "and return immediately")
+    submit.add_argument("--no-enforce", action="store_true",
+                        help="skip integrity enforcement on streamed "
+                        "payloads")
+    submit.add_argument("--waive", action="append", default=[],
+                        metavar="CHECK",
+                        help="accept a named integrity check; repeatable")
+    _add_platform(submit)
+    _add_scale(submit)
+    status = actions.add_parser(
+        "status", help="list jobs, or show one job's state")
+    status.add_argument("job", nargs="?", default=None)
+    result = actions.add_parser(
+        "result", help="fetch a job's raw payloads as JSON")
+    result.add_argument("job")
+    result.add_argument("--no-wait", action="store_true",
+                        help="return the current state instead of "
+                        "blocking until the job finishes")
+    cancel = actions.add_parser("cancel", help="cancel a job")
+    cancel.add_argument("job")
+    tail = actions.add_parser(
+        "tail-metrics", help="stream live daemon metrics")
+    tail.add_argument("--interval", type=float, default=1.0)
+    tail.add_argument("--count", type=int, default=0,
+                      help="snapshots to stream (0 = until interrupted)")
+    tail.add_argument("--json", action="store_true",
+                      help="one JSON object per snapshot instead of the "
+                      "formatted board")
+    actions.add_parser("stats", help="print one daemon stats snapshot")
+    actions.add_parser("shutdown", help="ask the daemon to drain and exit")
+
+
 #: command name -> (handler, extra-argument installers).
 _COMMANDS = {
     "info": (cmd_info, [_add_platform]),
@@ -529,6 +763,8 @@ _COMMANDS = {
     "snapshot": (cmd_snapshot, [_add_snapshot_args]),
     "bench-simspeed": (cmd_bench_simspeed, [_add_simspeed_args]),
     "cache": (cmd_cache, [_add_cache_args]),
+    "serve": (cmd_serve, [_add_serve_args]),
+    "reproctl": (cmd_reproctl, [_add_reproctl_args]),
 }
 
 

@@ -1,0 +1,114 @@
+"""Service-daemon observability: queue, pool and per-client counters.
+
+The simulation side of repro.obs (:mod:`repro.obs.metrics`) reports on
+one machine for one run; :class:`ServiceStats` is its daemon-level
+sibling — everything observable about a long-running ``repro serve``
+process across all clients and jobs.  The daemon updates it under its
+own lock and serves snapshots through the ``stats`` op and the
+``tail-metrics`` stream, so `reproctl tail-metrics` is effectively a
+live gauge board for the service:
+
+* **counters** — monotonically increasing totals (jobs submitted /
+  completed / failed / cancelled, cells dispatched vs served from the
+  content-addressed cache, cold boots vs warm dispatches on the shared
+  fork-server pool, quota rejections, integrity failures);
+* **gauges** — instantaneous values (queue depth, running jobs,
+  connected clients, warm servers);
+* **clients** — the same counters resolved per client name, which is
+  what makes quota and fairness questions answerable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Counter names, fixed so exported records stay schema-stable.
+SERVICE_COUNTERS = (
+    "jobs_submitted",
+    "jobs_completed",
+    "jobs_failed",
+    "jobs_cancelled",
+    "cells_total",
+    "cells_cached",
+    "cells_dispatched",
+    "cold_boots",
+    "cold_dispatches",
+    "warm_dispatches",
+    "serial_dispatches",
+    "serial_demotions",
+    "integrity_failures",
+    "quota_rejections",
+    "rejected_draining",
+    "clients_connected",
+    "clients_disconnected",
+    "orphaned_jobs_cancelled",
+)
+
+
+@dataclass
+class ServiceStats:
+    """Aggregated daemon counters, gauges and per-client accounting."""
+
+    counters: Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in SERVICE_COUNTERS}
+    )
+    gauges: Dict[str, float] = field(default_factory=dict)
+    clients: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def add(self, counter: str, value: int = 1,
+            client: str | None = None) -> None:
+        """Bump a named counter (and its per-client twin, if given)."""
+        if counter not in self.counters:
+            raise KeyError(f"unknown service counter {counter!r}")
+        self.counters[counter] += value
+        if client is not None:
+            per_client = self.clients.setdefault(client, {})
+            per_client[counter] = per_client.get(counter, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe, deterministically ordered snapshot."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "clients": {
+                name: dict(sorted(counters.items()))
+                for name, counters in sorted(self.clients.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceStats":
+        stats = cls()
+        for name, value in data.get("counters", {}).items():
+            if name in stats.counters:
+                stats.counters[name] = int(value)
+        stats.gauges = {
+            str(k): float(v) for k, v in data.get("gauges", {}).items()
+        }
+        stats.clients = {
+            str(name): {str(k): int(v) for k, v in counters.items()}
+            for name, counters in data.get("clients", {}).items()
+        }
+        return stats
+
+    def format(self) -> str:
+        """Human-readable board (the ``reproctl tail-metrics`` body)."""
+        lines = ["service metrics:"]
+        for name, value in sorted(self.gauges.items()):
+            rendered = (f"{value:.3f}" if value != int(value)
+                        else f"{int(value)}")
+            lines.append(f"  gauge   {name:26s} {rendered}")
+        for name, value in sorted(self.counters.items()):
+            if value:
+                lines.append(f"  counter {name:26s} {value}")
+        for client, counters in sorted(self.clients.items()):
+            summary = ", ".join(
+                f"{key}={value}" for key, value in sorted(counters.items())
+            )
+            lines.append(f"  client  {client:26s} {summary}")
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Experiment service: the ``repro serve`` daemon and its clients.
+
+The one-shot CLI re-pays scheduling and boot cost on every invocation;
+this package turns the execution substrate (runner cells, fork-server
+pools, the content-addressed cache, repro.obs integrity enforcement)
+into a long-lived multi-tenant service:
+
+* :mod:`repro.service.protocol` — length-prefixed JSON frames over a
+  unix socket (the same framing discipline as
+  :mod:`repro.tools.forkserver`, but JSON instead of pickle: clients
+  are untrusted peers, not forked children) plus the wire encoding of
+  :class:`~repro.tools.runner.Cell`.
+* :mod:`repro.service.queue` — the priority job queue with per-client
+  quotas.
+* :mod:`repro.service.daemon` — :class:`ReproDaemon`: socket event
+  loop, dispatcher thread, warm :class:`~repro.tools.forkserver.\
+ForkServerPool` shared across every client, graceful SIGTERM drain.
+* :mod:`repro.service.client` — :class:`ReproServiceClient` and the
+  ``reproctl`` command bodies (submit / status / result / cancel /
+  tail-metrics / shutdown).
+
+Contract: results fetched through the daemon are byte-identical to the
+same cells run via ``run_cells`` serially (DESIGN.md §5g).
+"""
+
+from repro.service.client import ReproServiceClient, ServiceError
+from repro.service.daemon import DaemonConfig, ReproDaemon
+from repro.service.protocol import default_socket_path
+from repro.service.queue import Job, JobQueue, QuotaExceeded
+
+__all__ = [
+    "DaemonConfig",
+    "Job",
+    "JobQueue",
+    "QuotaExceeded",
+    "ReproDaemon",
+    "ReproServiceClient",
+    "ServiceError",
+    "default_socket_path",
+]

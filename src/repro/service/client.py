@@ -1,0 +1,256 @@
+"""Client library for the ``repro serve`` daemon (the ``reproctl`` core).
+
+:class:`ReproServiceClient` speaks the JSON frame protocol over the
+daemon's unix socket.  One client holds one connection; replies and
+streamed events share that connection, so :meth:`_request` sorts
+arriving frames into *direct replies* (objects carrying ``"ok"``) and
+*events* (objects carrying ``"event"``), buffering events until an
+iterator asks for them.  Daemon-side errors come back as
+:class:`ServiceError` carrying the daemon's error code.
+
+The high-level entry point is :meth:`run_cells`: submit a batch as one
+streamed job, consume per-cell events as they land, and return the
+payload list in cell order — the exact shape local
+:func:`repro.tools.runner.run_cells` returns, which is what makes
+``reproctl table1`` byte-identical to ``python -m repro table1``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.service.protocol import (
+    FrameDecoder,
+    ServiceError,
+    cell_to_wire,
+    default_socket_path,
+    register_service_fd,
+    send_message,
+    unregister_service_fd,
+)
+from repro.tools.runner import Cell
+
+
+class ReproServiceClient:
+    """One connection to a running experiment-service daemon."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        timeout: Optional[float] = 600.0,
+        client: Optional[str] = None,
+    ):
+        self.socket_path = socket_path or default_socket_path()
+        self.timeout = timeout
+        self.client = client
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder()
+        #: frames received but not yet consumed, in arrival order
+        self._frames: List[Dict[str, Any]] = []
+        #: event frames set aside while waiting for a direct reply
+        self._events: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def connect(self) -> "ReproServiceClient":
+        if self._sock is not None:
+            return self
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot reach a repro serve daemon at {self.socket_path} "
+                f"({exc}); start one with 'python -m repro serve'"
+            ) from exc
+        # An in-process daemon (tests, embedders) forks pool workers
+        # while this fd is open; an inherited copy would mask EOF on
+        # disconnect, so every fork closes it (see repro.service.protocol).
+        register_service_fd(sock.fileno())
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                unregister_service_fd(self._sock.fileno())
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ReproServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _next_frame(self) -> Dict[str, Any]:
+        """Block for the next frame from the daemon, in arrival order."""
+        assert self._sock is not None, "client is not connected"
+        while not self._frames:
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout as exc:
+                raise ServiceError(
+                    f"timed out after {self.timeout}s waiting for the "
+                    f"daemon at {self.socket_path}"
+                ) from exc
+            if not data:
+                raise ServiceError(
+                    f"daemon at {self.socket_path} closed the connection"
+                )
+            self._frames.extend(self._decoder.feed(data))
+        return self._frames.pop(0)
+
+    def _next_event(self) -> Dict[str, Any]:
+        """Block for the next *event* frame, draining the buffer first."""
+        if self._events:
+            return self._events.pop(0)
+        frame = self._next_frame()
+        if "event" in frame:
+            return frame
+        # A stray direct reply here means the caller interleaved a
+        # request with event consumption; surface it loudly rather
+        # than silently dropping a reply.
+        raise ServiceError(f"expected an event frame, got {frame!r}")
+
+    def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one op; return its direct reply, setting aside events."""
+        self.connect()
+        send_message(self._sock, message)
+        while True:
+            frame = self._next_frame()
+            if "event" in frame:
+                self._events.append(frame)
+                continue
+            if not frame.get("ok", False):
+                raise ServiceError(
+                    f"[{frame.get('code', 'error')}] "
+                    f"{frame.get('error', 'daemon refused the request')}"
+                )
+            return frame
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        cells: List[Cell],
+        priority: int = 0,
+        label: str = "",
+        integrity: str = "enforce",
+        waive: tuple = (),
+        stream: bool = False,
+    ) -> Dict[str, Any]:
+        """Submit a batch of cells; returns the admission reply."""
+        message: Dict[str, Any] = {
+            "op": "submit",
+            "cells": [cell_to_wire(cell) for cell in cells],
+            "priority": priority,
+            "label": label,
+            "integrity": integrity,
+            "waive": list(waive),
+            "stream": stream,
+        }
+        if self.client:
+            message["client"] = self.client
+        return self._request(message)
+
+    def status(self, job_id: Optional[str] = None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "status"}
+        if job_id is not None:
+            message["job"] = job_id
+        return self._request(message)
+
+    def result(self, job_id: str, wait: bool = True) -> Dict[str, Any]:
+        return self._request({"op": "result", "job": job_id, "wait": wait})
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request({"op": "cancel", "job": job_id})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request({"op": "shutdown"})
+
+    def tail_metrics(
+        self, interval: float = 1.0, count: int = 0
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield daemon stats snapshots every ``interval`` seconds.
+
+        With ``count == 0`` the stream runs until the connection drops
+        (ctrl-C or daemon shutdown); otherwise exactly ``count``
+        snapshots are yielded.
+        """
+        self._request(
+            {"op": "tail-metrics", "interval": interval, "count": count}
+        )
+        while True:
+            try:
+                event = self._next_event()
+            except ServiceError:
+                return  # daemon went away mid-stream: the tail just ends
+            if event.get("event") == "metrics-end":
+                return
+            if event.get("event") == "metrics":
+                yield event["stats"]
+
+    # ------------------------------------------------------------------
+    # High-level batch execution
+    # ------------------------------------------------------------------
+    def iter_job_events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield a streamed job's events up to (and incl.) the terminal
+        ``{"event": "job"}`` frame."""
+        while True:
+            event = self._next_event()
+            if event.get("job") != job_id:
+                continue  # another job's stream on a shared connection
+            yield event
+            if event.get("event") == "job":
+                return
+
+    def run_cells(
+        self,
+        cells: List[Cell],
+        priority: int = 0,
+        label: str = "",
+        integrity: str = "enforce",
+        waive: tuple = (),
+        on_cell: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Run ``cells`` through the daemon; return payloads in order.
+
+        Drop-in for local :func:`repro.tools.runner.run_cells` — the
+        daemon enforces the same ``integrity="enforce"`` semantics on
+        every payload before streaming it.  ``on_cell`` (if given) is
+        called with each ``{"event": "cell"}`` frame as it arrives, for
+        progress display.
+        """
+        reply = self.submit(
+            cells, priority=priority, label=label, integrity=integrity,
+            waive=waive, stream=True,
+        )
+        job_id = reply["job"]
+        payloads: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+        for event in self.iter_job_events(job_id):
+            if event["event"] == "cell":
+                payloads[event["index"]] = event["payload"]
+                if on_cell is not None:
+                    on_cell(event)
+            elif event["event"] == "job" and event["state"] != "done":
+                raise ServiceError(
+                    f"job {job_id} ({label or 'unlabelled'}) ended "
+                    f"{event['state']}: {event.get('error')}"
+                )
+        missing = [idx for idx, p in enumerate(payloads) if p is None]
+        if missing:
+            raise ServiceError(
+                f"job {job_id} finished without payloads for cell "
+                f"indices {missing}"
+            )
+        return payloads  # type: ignore[return-value]

@@ -1,0 +1,689 @@
+"""The ``repro serve`` daemon: unix-socket server over warm pools.
+
+Architecture (DESIGN.md §5g)::
+
+    clients --unix socket, JSON frames--> socket loop (main thread)
+                                             |  JobQueue (priority, quotas)
+                                             v
+                                      dispatcher thread
+                                             |  chunks of <= jobs cells
+                                             v
+                                  ForkServerPool (warm, shared)
+                                      + CellCache (content-addressed)
+
+Two threads, one lock.  The **socket loop** owns every client
+connection: it accepts, decodes frames, answers ``status``/``result``/
+``stats`` synchronously, admits ``submit`` jobs into the
+:class:`~repro.service.queue.JobQueue` and flushes the event outbox the
+dispatcher fills.  The **dispatcher** pulls jobs off the queue in
+priority order and executes their cells — content-addressed cache
+first, then the shared :class:`~repro.tools.forkserver.ForkServerPool`
+(one warm server per distinct environment, kept alive across jobs and
+clients, so only the first job for an environment ever pays a boot) —
+and posts per-cell results back through the outbox, waking the socket
+loop over a self-pipe.
+
+Every payload — computed or cached — passes the repro.obs integrity
+checks before it is streamed (``run_cells(integrity="enforce")``
+semantics) unless the submitting client waived named checks; a lossy
+cell fails its whole job loudly.
+
+Shutdown: SIGTERM (or the ``shutdown`` op) starts a *graceful drain* —
+new submissions are rejected with code ``draining``, already-admitted
+jobs run to completion and stream their results, then the pool is
+stopped (every server process reaped: no leaked children), the socket
+is unlinked and ``serve`` returns.  A client that disconnects mid-job
+has its streamed jobs cancelled at the next chunk boundary; the pool
+survives and keeps serving other tenants.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import selectors
+import signal
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import IntegrityError
+from repro.obs.metrics import verify_payload_integrity
+from repro.obs.service import ServiceStats
+from repro.service import protocol
+from repro.service.protocol import (
+    FrameDecoder,
+    FrameError,
+    ServiceError,
+    cell_from_wire,
+    error_reply,
+    register_service_fd,
+    send_message,
+    unregister_service_fd,
+)
+from repro.service.queue import Job, JobQueue, QuotaExceeded
+from repro.tools import forkserver
+from repro.tools import runner as _runner
+from repro.tools.runner import CellCache, default_cache_dir, validate_backend
+
+#: Backends the daemon itself can host.  ``auto`` and ``pool`` resolve
+#: through :func:`resolve_daemon_backend` (the daemon has no use for a
+#: per-job ProcessPoolExecutor — its whole point is the warm pool — so
+#: ``pool`` degrades to serial in-process execution, exactly like the
+#: fleet-wide CI override intends).
+DAEMON_BACKENDS = ("forkserver", "serial")
+
+
+def resolve_daemon_backend(backend: str = "auto") -> str:
+    """Map a runner backend name onto what the daemon can host.
+
+    ``REPRO_BENCH_BACKEND`` overrides the argument (same precedence as
+    ``run_cells``); unknown values raise the same clear
+    :class:`ValueError` naming the valid backends — a daemon must never
+    come up silently running a different backend than asked.
+    """
+    forced = os.environ.get("REPRO_BENCH_BACKEND")
+    if forced:
+        choice = validate_backend(forced, source="REPRO_BENCH_BACKEND")
+    else:
+        choice = validate_backend(backend)
+    if choice in ("auto", "forkserver"):
+        return "forkserver" if forkserver.fork_available() else "serial"
+    return "serial"
+
+
+@dataclass
+class DaemonConfig:
+    """Everything a ``repro serve`` invocation can configure."""
+
+    socket_path: Optional[str] = None
+    jobs: int = 2
+    quota: int = 8
+    backend: str = "auto"
+    cache_dir: Optional[str] = None
+    no_cache: bool = False
+    timeout: Optional[float] = _runner.DEFAULT_TIMEOUT
+
+    def resolved_socket_path(self) -> str:
+        return self.socket_path or protocol.default_socket_path()
+
+
+class _Connection:
+    """Socket-loop state for one connected client."""
+
+    def __init__(self, conn_id: int, sock: socket.socket):
+        self.id = conn_id
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.decoder = FrameDecoder()
+        self.client = f"conn{conn_id}"
+        #: active ``tail-metrics`` subscription, or None:
+        #: {"interval": s, "remaining": n, "due": monotonic}
+        self.tail: Optional[Dict[str, float]] = None
+
+
+class ReproDaemon:
+    """Long-lived experiment service over a unix socket."""
+
+    def __init__(self, config: Optional[DaemonConfig] = None):
+        self.config = config or DaemonConfig()
+        self.backend = resolve_daemon_backend(self.config.backend)
+        self.queue = JobQueue(quota=self.config.quota)
+        self.stats = ServiceStats()
+        self.cache: Optional[CellCache] = None
+        if not self.config.no_cache:
+            directory = self.config.cache_dir or default_cache_dir()
+            self.cache = CellCache(directory)
+        self.pool: Optional[forkserver.ForkServerPool] = None
+        self._lock = threading.Lock()
+        self._connections: Dict[int, _Connection] = {}
+        self._conn_counter = itertools.count(1)
+        self._job_counter = itertools.count(1)
+        #: (conn_id, frame) pairs posted by the dispatcher, flushed by
+        #: the socket loop.
+        self._outbox: deque = deque()
+        #: job_id -> [conn_id, ...] blocked in ``result --wait``.
+        self._waiters: Dict[str, List[int]] = {}
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_r, False)
+        register_service_fd(self._wake_r)
+        register_service_fd(self._wake_w)
+        self._draining = False
+        self._drain_requested = False
+        self._dispatcher: Optional[threading.Thread] = None
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"\0")
+        except (BlockingIOError, OSError):
+            pass  # pipe full: the loop is already due to wake
+
+    def request_shutdown(self) -> None:
+        """Thread- and signal-safe graceful-drain trigger."""
+        self._drain_requested = True
+        self._wake()
+
+    def _bind(self, path: str) -> socket.socket:
+        if os.path.exists(path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.settimeout(1.0)
+            try:
+                probe.connect(path)
+            except OSError:
+                os.unlink(path)  # stale socket from a dead daemon
+            else:
+                probe.close()
+                raise ServiceError(
+                    f"another repro serve daemon is already listening on "
+                    f"{path}"
+                )
+            finally:
+                probe.close()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(path)
+        sock.listen(16)
+        sock.setblocking(False)
+        register_service_fd(sock.fileno())
+        return sock
+
+    def serve(self, ready: Optional[threading.Event] = None) -> None:
+        """Run until drained (SIGTERM, SIGINT or the ``shutdown`` op)."""
+        path = self.config.resolved_socket_path()
+        listener = self._bind(path)
+        try:  # signal handlers only install from the main thread
+            signal.signal(signal.SIGTERM, self._on_signal)
+            signal.signal(signal.SIGINT, self._on_signal)
+        except ValueError:
+            pass
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        selector = selectors.DefaultSelector()
+        selector.register(listener, selectors.EVENT_READ, "listen")
+        selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        if ready is not None:
+            ready.set()
+        try:
+            while True:
+                timeout = self._loop_timeout()
+                for key, _ in selector.select(timeout):
+                    if key.data == "listen":
+                        self._accept(listener, selector)
+                    elif key.data == "wake":
+                        try:
+                            os.read(self._wake_r, 4096)
+                        except (BlockingIOError, OSError):
+                            pass
+                    else:
+                        self._service_connection(key.data, selector)
+                if self._drain_requested and not self._draining:
+                    self._draining = True
+                    self.queue.stop()
+                self._flush_outbox(selector)
+                self._resolve_waiters(selector)
+                self._push_metrics_tails(selector)
+                if (self._draining
+                        and not self._dispatcher.is_alive()
+                        and not self._outbox):
+                    break
+        finally:
+            for conn in list(self._connections.values()):
+                self._drop_connection(conn, selector)
+            selector.close()
+            unregister_service_fd(listener.fileno())
+            listener.close()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.queue.stop()
+            if self._dispatcher is not None:
+                self._dispatcher.join(timeout=forkserver._STOP_GRACE * 2)
+
+    def _on_signal(self, signum, frame) -> None:  # pragma: no cover - thin
+        self.request_shutdown()
+
+    def _loop_timeout(self) -> Optional[float]:
+        if self._draining:
+            return 0.2  # poll for dispatcher exit
+        due = [conn.tail["due"] for conn in self._connections.values()
+               if conn.tail is not None]
+        if due:
+            return max(0.0, min(due) - time.monotonic())
+        return None
+
+    # ------------------------------------------------------------------
+    # Socket loop: connections and requests
+    # ------------------------------------------------------------------
+    def _accept(self, listener: socket.socket, selector) -> None:
+        try:
+            sock, _ = listener.accept()
+        except OSError:
+            return
+        sock.settimeout(30.0)  # a stalled client must not stall the loop
+        conn = _Connection(next(self._conn_counter), sock)
+        register_service_fd(conn.fd)
+        self._connections[conn.id] = conn
+        selector.register(sock, selectors.EVENT_READ, conn)
+        with self._lock:
+            self.stats.add("clients_connected")
+
+    def _drop_connection(self, conn: _Connection, selector) -> None:
+        try:
+            selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        unregister_service_fd(conn.fd)
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self._connections.pop(conn.id, None)
+        with self._lock:
+            self.stats.add("clients_disconnected")
+            self._waiters = {
+                job_id: [c for c in conns if c != conn.id]
+                for job_id, conns in self._waiters.items()
+            }
+        # Orphan handling: a streamed job's results are only deliverable
+        # over the submitting connection — nobody is left to read them,
+        # so cancel it rather than burn pool time (satellite: the pool
+        # must survive a client disconnect mid-job).
+        for info in self.queue.snapshot():
+            job = self.queue.get(info["job"])
+            if (job is not None and job.stream
+                    and job.connection == conn.id and not job.finished):
+                self.queue.cancel(job.job_id)
+                with self._lock:
+                    self.stats.add("orphaned_jobs_cancelled",
+                                   client=job.client)
+
+    def _service_connection(self, conn: _Connection, selector) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except OSError:
+            data = b""
+        if not data:
+            self._drop_connection(conn, selector)
+            return
+        try:
+            frames = conn.decoder.feed(data)
+        except FrameError as exc:
+            self._send(conn, error_reply("protocol", str(exc)), selector)
+            self._drop_connection(conn, selector)
+            return
+        for message in frames:
+            try:
+                self._handle_request(conn, message, selector)
+            except FrameError as exc:
+                self._send(conn, error_reply("protocol", str(exc)), selector)
+
+    def _send(self, conn: _Connection, message: Dict[str, Any],
+              selector) -> None:
+        try:
+            send_message(conn.sock, message)
+        except (OSError, FrameError):
+            self._drop_connection(conn, selector)
+
+    def _handle_request(self, conn: _Connection, message: Dict[str, Any],
+                        selector) -> None:
+        op = message.get("op")
+        if op == "submit":
+            self._send(conn, self._op_submit(conn, message), selector)
+        elif op == "status":
+            self._send(conn, self._op_status(message), selector)
+        elif op == "result":
+            reply = self._op_result(conn, message)
+            if reply is not None:
+                self._send(conn, reply, selector)
+        elif op == "cancel":
+            self._send(conn, self._op_cancel(message), selector)
+        elif op == "stats":
+            self._send(conn, {"ok": True, "stats": self.stats_snapshot()},
+                       selector)
+        elif op == "tail-metrics":
+            interval = max(0.05, float(message.get("interval", 1.0)))
+            count = int(message.get("count", 0))
+            conn.tail = {"interval": interval, "remaining": count,
+                         "due": time.monotonic()}
+            self._send(conn, {"ok": True, "interval": interval,
+                              "count": count}, selector)
+        elif op == "shutdown":
+            self._send(conn, {"ok": True, "draining": True}, selector)
+            self.request_shutdown()
+        else:
+            self._send(conn, error_reply("bad-op",
+                                         f"unknown op {op!r}"), selector)
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    def _op_submit(self, conn: _Connection,
+                   message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._draining or self._drain_requested:
+            with self._lock:
+                self.stats.add("rejected_draining")
+            return error_reply(
+                "draining", "daemon is draining and accepts no new jobs"
+            )
+        documents = message.get("cells") or []
+        if not documents:
+            return error_reply("bad-submit", "submit carried no cells")
+        integrity = message.get("integrity", "enforce")
+        if integrity not in ("enforce", "ignore"):
+            return error_reply(
+                "bad-submit",
+                f"integrity must be 'enforce' or 'ignore', "
+                f"got {integrity!r}",
+            )
+        try:
+            cells = [cell_from_wire(doc) for doc in documents]
+        except (KeyError, TypeError, ValueError) as exc:
+            return error_reply("bad-cell", f"undecodable cell: {exc!r}")
+        for cell in cells:
+            if cell.kind not in _runner.KIND_EXECUTORS:
+                return error_reply(
+                    "bad-cell",
+                    f"unknown cell kind {cell.kind!r}; choose from "
+                    f"{sorted(_runner.KIND_EXECUTORS)}",
+                )
+        client = str(message.get("client") or conn.client)
+        conn.client = client
+        job = Job(
+            job_id=f"j{next(self._job_counter):04d}",
+            client=client,
+            cells=cells,
+            priority=int(message.get("priority", 0)),
+            label=str(message.get("label", "")),
+            integrity=integrity,
+            waive=tuple(message.get("waive") or ()),
+            stream=bool(message.get("stream", False)),
+            connection=conn.id,
+        )
+        try:
+            self.queue.submit(job)
+        except QuotaExceeded as exc:
+            with self._lock:
+                self.stats.add("quota_rejections", client=client)
+            return error_reply("quota", str(exc))
+        with self._lock:
+            self.stats.add("jobs_submitted", client=client)
+            self.stats.add("cells_total", len(cells), client=client)
+        return {"ok": True, "job": job.job_id, "cells": len(cells),
+                "priority": job.priority}
+
+    def _op_status(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = message.get("job")
+        if job_id is None:
+            return {"ok": True, "jobs": self.queue.snapshot(),
+                    "stats": self.stats_snapshot()}
+        job = self.queue.get(str(job_id))
+        if job is None:
+            return error_reply("unknown-job", f"no job {job_id!r}")
+        return {"ok": True, **job.info()}
+
+    def _result_reply(self, job: Job) -> Dict[str, Any]:
+        return {"ok": True, "state": job.state, "error": job.error,
+                "payloads": job.payloads, **job.info()}
+
+    def _op_result(self, conn: _Connection,
+                   message: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        job_id = str(message.get("job", ""))
+        job = self.queue.get(job_id)
+        if job is None:
+            return error_reply("unknown-job", f"no job {job_id!r}")
+        if job.finished or not message.get("wait", False):
+            return self._result_reply(job)
+        with self._lock:
+            self._waiters.setdefault(job_id, []).append(conn.id)
+        return None  # resolved by _resolve_waiters once the job lands
+
+    def _op_cancel(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = str(message.get("job", ""))
+        job = self.queue.cancel(job_id)
+        if job is None:
+            return error_reply("unknown-job", f"no job {job_id!r}")
+        if job.state == "cancelled":
+            with self._lock:
+                self.stats.add("jobs_cancelled", client=job.client)
+        return {"ok": True, **job.info()}
+
+    # ------------------------------------------------------------------
+    # Outbox, waiters, metric tails
+    # ------------------------------------------------------------------
+    def _post(self, conn_id: Optional[int],
+              message: Dict[str, Any]) -> None:
+        """Dispatcher-side: queue a frame for the socket loop to send."""
+        if conn_id is None:
+            return
+        with self._lock:
+            self._outbox.append((conn_id, message))
+        self._wake()
+
+    def _flush_outbox(self, selector) -> None:
+        while True:
+            with self._lock:
+                if not self._outbox:
+                    return
+                conn_id, message = self._outbox.popleft()
+            conn = self._connections.get(conn_id)
+            if conn is not None:
+                self._send(conn, message, selector)
+
+    def _resolve_waiters(self, selector) -> None:
+        with self._lock:
+            ready = [
+                (job_id, conns) for job_id, conns in self._waiters.items()
+                if (job := self.queue.get(job_id)) is not None
+                and job.finished and conns
+            ]
+            for job_id, _ in ready:
+                self._waiters.pop(job_id, None)
+        for job_id, conns in ready:
+            job = self.queue.get(job_id)
+            for conn_id in conns:
+                conn = self._connections.get(conn_id)
+                if conn is not None:
+                    self._send(conn, self._result_reply(job), selector)
+
+    def _push_metrics_tails(self, selector) -> None:
+        now = time.monotonic()
+        for conn in list(self._connections.values()):
+            tail = conn.tail
+            if tail is None or now < tail["due"]:
+                continue
+            self._send(conn, {"event": "metrics",
+                              "stats": self.stats_snapshot()}, selector)
+            tail["due"] = now + tail["interval"]
+            if tail["remaining"]:
+                tail["remaining"] -= 1
+                if tail["remaining"] <= 0:
+                    self._send(conn, {"event": "metrics-end"}, selector)
+                    conn.tail = None
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Gauges + counters as one JSON-safe dict (``stats`` op body)."""
+        with self._lock:
+            pool = self.pool
+            if pool is not None:
+                for name in ("cold_boots", "cold_dispatches",
+                             "warm_dispatches", "serial_demotions"):
+                    self.stats.counters[name] = getattr(pool, name)
+            self.stats.set_gauge("queue_depth", self.queue.depth())
+            self.stats.set_gauge("jobs_running", self.queue.running())
+            self.stats.set_gauge("clients", len(self._connections))
+            self.stats.set_gauge(
+                "warm_servers", pool.warm_servers if pool else 0
+            )
+            self.stats.set_gauge(
+                "uptime_seconds",
+                round(time.monotonic() - self._started, 3),
+            )
+            return self.stats.to_dict()
+
+    # ------------------------------------------------------------------
+    # Dispatcher thread
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        if self.backend == "forkserver":
+            try:
+                pool = forkserver.ForkServerPool(
+                    jobs=self.config.jobs, timeout=self.config.timeout
+                )
+            except forkserver.ForkServerUnavailable:
+                pool = None
+                self.backend = "serial"
+            with self._lock:
+                self.pool = pool
+        try:
+            while True:
+                job = self.queue.next_ready()
+                if job is None:
+                    return
+                self._run_job(job)
+        finally:
+            with self._lock:
+                pool, self.pool = self.pool, None
+            if pool is not None:
+                pool.close(kill=False)
+            self._wake()
+
+    def _chunk_indices(self, pending: List[int]) -> List[List[int]]:
+        size = max(1, self.config.jobs) if self.pool is not None else 1
+        return [pending[i:i + size] for i in range(0, len(pending), size)]
+
+    def _verify_payload(self, job: Job, index: int,
+                        payload: Dict[str, Any]) -> None:
+        if job.integrity != "enforce":
+            return
+        verify_payload_integrity(
+            [job.cells[index].label()], [payload], waive=job.waive
+        )
+
+    def _emit_cell(self, job: Job, index: int,
+                   payload: Dict[str, Any]) -> None:
+        job.payloads[index] = payload
+        job.completed_cells += 1
+        if job.stream:
+            self._post(job.connection, {
+                "event": "cell",
+                "job": job.job_id,
+                "index": index,
+                "label": job.cells[index].label(),
+                "completed": job.completed_cells,
+                "cells": len(job.cells),
+                "payload": payload,
+            })
+
+    def _execute_chunk(
+        self, job: Job, chunk: List[int]
+    ) -> Dict[int, Dict[str, Any]]:
+        pool = self.pool
+        if pool is not None:
+            try:
+                got = pool.run_indices(job.cells, chunk)
+                with self._lock:
+                    self.stats.add("cells_dispatched", len(chunk),
+                                   client=job.client)
+                return got
+            except forkserver.ForkServerUnavailable:
+                # The pool died wholesale (fork exhaustion, close):
+                # finish this and future jobs serially in-process.
+                with self._lock:
+                    self.pool = None
+                self.backend = "serial"
+        results: Dict[int, Dict[str, Any]] = {}
+        for index in chunk:
+            results[index] = _runner._run_serial(job.cells[index])
+            with self._lock:
+                self.stats.add("cells_dispatched", client=job.client)
+                self.stats.add("serial_dispatches", client=job.client)
+        return results
+
+    def _run_job(self, job: Job) -> None:
+        pool = self.pool
+        before = pool.stats() if pool is not None else {}
+        error: Optional[str] = None
+        integrity_failed = False
+        pending: List[int] = []
+        # Cache pass first: a warm cache never touches the pool.  Cached
+        # payloads are integrity-verified exactly like computed ones, so
+        # a lossy result can never hide in the cache (run_cells parity).
+        for index, cell in enumerate(job.cells):
+            if job.cancel_requested:
+                break
+            payload = (self.cache.lookup(cell)
+                       if self.cache is not None else None)
+            if payload is None:
+                pending.append(index)
+                continue
+            try:
+                self._verify_payload(job, index, payload)
+            except IntegrityError as exc:
+                error, integrity_failed = str(exc), True
+                break
+            job.cached_cells += 1
+            with self._lock:
+                self.stats.add("cells_cached", client=job.client)
+            self._emit_cell(job, index, payload)
+        if error is None and not job.cancel_requested:
+            for chunk in self._chunk_indices(pending):
+                if job.cancel_requested:
+                    break
+                try:
+                    results = self._execute_chunk(job, chunk)
+                except _runner.RunnerError as exc:
+                    error = str(exc)
+                    break
+                for index in sorted(results):
+                    payload = results[index]
+                    if self.cache is not None:
+                        self.cache.store(job.cells[index], payload)
+                    try:
+                        self._verify_payload(job, index, payload)
+                    except IntegrityError as exc:
+                        error, integrity_failed = str(exc), True
+                        break
+                    self._emit_cell(job, index, payload)
+                if error is not None:
+                    break
+        after = (self.pool.stats() if self.pool is not None else {})
+        job.pool_stats = {
+            key: after.get(key, 0) - before.get(key, 0)
+            for key in ("cold_boots", "cold_dispatches", "warm_dispatches",
+                        "serial_demotions")
+        }
+        job.pool_stats["cached"] = job.cached_cells
+        if job.cancel_requested:
+            job.state = "cancelled"
+            job.error = job.error or "cancelled by request"
+            counter = "jobs_cancelled"
+        elif error is not None:
+            job.state = "failed"
+            job.error = error
+            counter = "jobs_failed"
+        else:
+            job.state = "done"
+            counter = "jobs_completed"
+        with self._lock:
+            self.stats.add(counter, client=job.client)
+            if integrity_failed:
+                self.stats.add("integrity_failures", client=job.client)
+        if job.stream:
+            self._post(job.connection, {
+                "event": "job",
+                "job": job.job_id,
+                "state": job.state,
+                "error": job.error,
+                "info": job.info(),
+            })
+        self._wake()  # result waiters resolve even without streaming

@@ -1,0 +1,226 @@
+"""Wire protocol for the experiment service: JSON frames, cell encoding.
+
+Framing discipline matches :mod:`repro.tools.forkserver` — an 8-byte
+big-endian length prefix followed by the body — but the body is UTF-8
+JSON, not pickle: daemon and clients are separate processes owned by
+possibly different users, and unpickling peer-supplied bytes would hand
+every client arbitrary code execution in the daemon.  JSON also keeps
+the payloads on the wire in exactly the serialization the
+content-addressed :class:`~repro.tools.runner.CellCache` uses, which is
+what makes the byte-identity contract (daemon results == serial
+``run_cells`` results) checkable end to end.
+
+Every frame is one JSON object.  Client -> daemon objects carry an
+``"op"`` key (``submit``/``status``/``result``/``cancel``/
+``tail-metrics``/``stats``/``shutdown``); daemon -> client objects are
+either direct replies (``{"ok": true, ...}`` / ``{"ok": false,
+"error": ..., "code": ...}``) or streamed events (``{"event": "cell" |
+"job" | "metrics", ...}``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import socket
+import struct
+import tempfile
+from typing import Any, Dict, Iterator, List, Optional, Set
+
+from repro.config import CostModel, PlatformConfig
+from repro.tools.runner import Cell
+
+_LEN = struct.Struct(">Q")
+
+#: Upper bound on one frame body.  A table-scale result payload is tens
+#: of kilobytes; anything near this limit is a corrupt length prefix or
+#: a hostile peer, and must not make the daemon allocate unbounded
+#: memory.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameError(RuntimeError):
+    """A peer violated the framing protocol (oversized or non-JSON)."""
+
+
+class ServiceError(RuntimeError):
+    """The service could not be reached, started, or returned an error."""
+
+
+# ----------------------------------------------------------------------
+# Service fds must not leak into forked experiment workers
+# ----------------------------------------------------------------------
+#: Live service fds (listener, wake pipe, connections — daemon and
+#: client side).  The warm fork-server pool forks workers while these
+#: are open; an inherited copy in a child would keep a half-closed
+#: connection alive forever (the peer never sees EOF, so disconnects go
+#: unnoticed) and would let an experiment worker scribble on the wire.
+#: Every fork in this process closes them via an ``os.register_at_fork``
+#: hook.
+_CHILD_CLOSE_FDS: Set[int] = set()
+_AT_FORK_INSTALLED = False
+
+
+def _close_service_fds_in_child() -> None:  # pragma: no cover - in child
+    for fd in list(_CHILD_CLOSE_FDS):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    _CHILD_CLOSE_FDS.clear()
+
+
+def register_service_fd(fd: int) -> None:
+    """Mark ``fd`` for closing in any child this process forks."""
+    global _AT_FORK_INSTALLED
+    if not _AT_FORK_INSTALLED and hasattr(os, "register_at_fork"):
+        os.register_at_fork(after_in_child=_close_service_fds_in_child)
+        _AT_FORK_INSTALLED = True
+    if fd >= 0:
+        _CHILD_CLOSE_FDS.add(fd)
+
+
+def unregister_service_fd(fd: int) -> None:
+    """Remove ``fd`` from the at-fork close set.
+
+    Must be called *before* the fd is closed — a stale entry could
+    close an unrelated file that later reused the number in a child.
+    """
+    _CHILD_CLOSE_FDS.discard(fd)
+
+
+def default_socket_path() -> str:
+    """``REPRO_SERVICE_SOCKET`` or a per-user path under the tmp dir.
+
+    Unix socket paths are limited to ~107 bytes, so the default lives
+    in the system temporary directory rather than under the repo.
+    """
+    configured = os.environ.get("REPRO_SERVICE_SOCKET")
+    if configured:
+        return configured
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-serve-{uid}.sock")
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One length-prefixed JSON frame, ready for the socket.
+
+    Key order is preserved, not sorted: payload dict order is semantic
+    (table rows render in ``counts`` insertion order), and byte-identity
+    with local ``run_cells`` requires the wire to carry it through.
+    """
+    blob = json.dumps(message).encode("utf-8")
+    if len(blob) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(blob)} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            f"limit"
+        )
+    return _LEN.pack(len(blob)) + blob
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Write one frame, completely (blocking)."""
+    sock.sendall(encode_frame(message))
+
+
+class FrameDecoder:
+    """Reassembles JSON frames from an arbitrarily chunked byte stream."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Buffer ``data``; return every now-complete frame, in order."""
+        self._buf += data
+        frames: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return frames
+            (length,) = _LEN.unpack_from(self._buf)
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(
+                    f"peer announced a {length}-byte frame (limit "
+                    f"{MAX_FRAME_BYTES}); dropping the connection"
+                )
+            end = _LEN.size + length
+            if len(self._buf) < end:
+                return frames
+            blob = bytes(self._buf[_LEN.size:end])
+            del self._buf[:end]
+            try:
+                frames.append(json.loads(blob.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise FrameError(f"peer sent a non-JSON frame: {exc}") from exc
+
+
+def recv_messages(
+    sock: socket.socket, decoder: FrameDecoder
+) -> Iterator[Dict[str, Any]]:
+    """Yield frames from a blocking socket until it closes (EOF)."""
+    while True:
+        data = sock.recv(65536)
+        if not data:
+            return
+        yield from decoder.feed(data)
+
+
+# ----------------------------------------------------------------------
+# Cell wire encoding
+# ----------------------------------------------------------------------
+def cell_to_wire(cell: Cell) -> Dict[str, Any]:
+    """JSON-safe encoding of one :class:`Cell`.
+
+    Raises :class:`FrameError` for cells whose spec is not JSON
+    serializable (e.g. caller-injected workload objects) — those can
+    only run in-process, never through the service.
+    """
+    config = (dataclasses.asdict(cell.platform_config)
+              if cell.platform_config is not None else None)
+    document = {
+        "kind": cell.kind,
+        "environment": cell.environment,
+        "workload": cell.workload,
+        "spec": cell.spec,
+        "platform_config": config,
+        "cacheable": cell.cacheable,
+        "snapshot_path": cell.snapshot_path,
+    }
+    try:
+        json.dumps(document)
+    except (TypeError, ValueError) as exc:
+        raise FrameError(
+            f"cell {cell.label()} is not JSON-serializable and cannot be "
+            f"submitted to the service: {exc}"
+        ) from exc
+    return document
+
+
+def cell_from_wire(document: Dict[str, Any]) -> Cell:
+    """Rebuild a :class:`Cell` from its wire encoding."""
+    config_doc = document.get("platform_config")
+    config: Optional[PlatformConfig] = None
+    if config_doc is not None:
+        fields = dict(config_doc)
+        # dataclasses.asdict flattened the nested CostModel to a plain
+        # dict; rebuild it so the Cell round-trips exactly.
+        costs = fields.get("costs")
+        if isinstance(costs, dict):
+            fields["costs"] = CostModel(**costs)
+        config = PlatformConfig(**fields)
+    return Cell(
+        kind=str(document["kind"]),
+        environment=str(document["environment"]),
+        workload=str(document["workload"]),
+        spec=dict(document.get("spec") or {}),
+        platform_config=config,
+        cacheable=bool(document.get("cacheable", True)),
+        snapshot_path=document.get("snapshot_path"),
+    )
+
+
+def error_reply(code: str, message: str) -> Dict[str, Any]:
+    return {"ok": False, "code": code, "error": message}

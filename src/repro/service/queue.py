@@ -1,0 +1,189 @@
+"""Priority job queue with per-client quotas for the service daemon.
+
+A :class:`Job` is an ordered batch of experiment cells submitted by one
+client; the :class:`JobQueue` hands jobs to the daemon's dispatcher in
+priority order (higher ``priority`` first, FIFO within a priority) and
+enforces a per-client cap on work admitted but not yet finished, so one
+greedy client cannot starve the rest of the tenants.
+
+The queue is the synchronization point between the daemon's two
+threads: the socket loop submits/cancels under the queue's lock, the
+dispatcher blocks in :meth:`JobQueue.next_ready` until a job (or a
+shutdown request) is available.  Everything else in the daemon reads
+job state through snapshots taken under the same lock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.tools.runner import Cell
+
+#: Job lifecycle: queued -> running -> (done | failed | cancelled).
+#: A queued job can go straight to cancelled; a running job that sees
+#: its cancel flag between dispatch chunks lands in cancelled too.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+class QuotaExceeded(RuntimeError):
+    """A client exceeded its admitted-but-unfinished job quota."""
+
+
+@dataclass
+class Job:
+    """One submitted batch of cells and everything known about it."""
+
+    job_id: str
+    client: str
+    cells: List[Cell]
+    priority: int = 0
+    label: str = ""
+    integrity: str = "enforce"
+    waive: tuple = ()
+    stream: bool = False
+    #: connection identifier the job was submitted on (used to cancel
+    #: orphaned streamed jobs when their client disconnects mid-run).
+    connection: Optional[int] = None
+    state: str = "queued"
+    error: Optional[str] = None
+    #: per-cell payloads, in cell order (None until the cell finishes).
+    payloads: List[Optional[Dict[str, Any]]] = field(default_factory=list)
+    completed_cells: int = 0
+    cached_cells: int = 0
+    cancel_requested: bool = False
+    #: pool-dispatch accounting deltas attributed to this job
+    #: (cold_boots / warm_dispatches / ...; see ForkServerPool.stats).
+    pool_stats: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.payloads:
+            self.payloads = [None] * len(self.cells)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    def info(self) -> Dict[str, Any]:
+        """JSON-safe status summary (the ``status`` op's reply body)."""
+        return {
+            "job": self.job_id,
+            "client": self.client,
+            "label": self.label,
+            "state": self.state,
+            "priority": self.priority,
+            "cells": len(self.cells),
+            "completed": self.completed_cells,
+            "cached": self.cached_cells,
+            "error": self.error,
+            "pool": dict(self.pool_stats),
+        }
+
+
+class JobQueue:
+    """Thread-safe priority queue of :class:`Job` objects."""
+
+    def __init__(self, quota: int = 8):
+        if quota < 1:
+            raise ValueError(f"quota must be positive, got {quota}")
+        self.quota = quota
+        self.jobs: Dict[str, Job] = {}
+        self._heap: List[tuple] = []  # (-priority, submit_seq, job_id)
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        """Admit a job, or raise :class:`QuotaExceeded`."""
+        with self._lock:
+            admitted = sum(
+                1 for other in self.jobs.values()
+                if other.client == job.client and not other.finished
+            )
+            if admitted >= self.quota:
+                raise QuotaExceeded(
+                    f"client {job.client!r} already has {admitted} "
+                    f"unfinished job(s); the per-client quota is "
+                    f"{self.quota}"
+                )
+            self.jobs[job.job_id] = job
+            heapq.heappush(
+                self._heap, (-job.priority, next(self._counter), job.job_id)
+            )
+            self._work.notify_all()
+            return job
+
+    def next_ready(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Block until a queued job is available; mark it running.
+
+        Returns ``None`` when the queue is stopping and drained (or the
+        optional ``timeout`` expires) — the dispatcher's exit signal.
+        """
+        with self._lock:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    job = self.jobs.get(job_id)
+                    if job is None or job.state != "queued":
+                        continue  # cancelled while queued: skip the stub
+                    job.state = "running"
+                    return job
+                if self._stopping:
+                    return None
+                if not self._work.wait(timeout=timeout):
+                    return None
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; returns the job (or ``None`` if unknown).
+
+        A queued job is cancelled immediately; a running job gets its
+        ``cancel_requested`` flag set and the dispatcher cancels it at
+        the next chunk boundary.  Finished jobs are left untouched.
+        """
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state == "queued":
+                job.state = "cancelled"
+                job.error = "cancelled while queued"
+            elif job.state == "running":
+                job.cancel_requested = True
+            return job
+
+    def stop(self) -> None:
+        """Wake the dispatcher for shutdown once the queue drains."""
+        with self._lock:
+            self._stopping = True
+            self._work.notify_all()
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    def depth(self) -> int:
+        """Jobs admitted but not yet started."""
+        with self._lock:
+            return sum(1 for job in self.jobs.values()
+                       if job.state == "queued")
+
+    def running(self) -> int:
+        with self._lock:
+            return sum(1 for job in self.jobs.values()
+                       if job.state == "running")
+
+    def unfinished(self) -> int:
+        with self._lock:
+            return sum(1 for job in self.jobs.values()
+                       if not job.finished)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Status summaries for every known job, in submission order."""
+        with self._lock:
+            return [job.info() for job in self.jobs.values()]

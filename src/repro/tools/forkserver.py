@@ -300,6 +300,7 @@ class _Server:
 
     def __init__(self, key: Tuple, sample_cell):
         self.key = key
+        self.ever_dispatched = False
         cmd_r, cmd_w = os.pipe()
         res_r, res_w = os.pipe()
         pid = os.fork()
@@ -395,6 +396,266 @@ class _Inflight:
         self.first_error = first_error
 
 
+class ForkServerPool:
+    """A long-lived, re-entrant pool of warm fork servers.
+
+    The one-shot :func:`run_pending` path pays the environment boot for
+    every invocation; this class keeps the servers — and therefore the
+    fully-constructed machine images they fork children from — alive
+    across calls.  The first :meth:`run_indices` call that needs an
+    environment forks its server (a *cold boot*); every later cell for
+    the same environment key lands on the warm server (a *warm
+    dispatch*), so boot cost is amortized indefinitely.  This is the
+    execution substrate of the ``repro serve`` daemon
+    (:mod:`repro.service.daemon`), which shares one pool across every
+    client and job.
+
+    Failure containment differs from the one-shot path in one way: an
+    error confined to a single call (a cell that failed its retry, a
+    per-job timeout) must not tear down servers other jobs are using.
+    A timeout kills and evicts only the servers with overdue children;
+    a failed-after-retry raise leaves every server warm.  Anything
+    unexpected still closes the whole pool, matching the one-shot
+    contract.
+
+    Not thread-safe: callers (the daemon's dispatcher thread, the
+    one-shot wrapper) serialize calls.
+    """
+
+    def __init__(self, jobs: int = 1, timeout: Optional[float] = None):
+        if not fork_available():
+            raise ForkServerUnavailable(
+                "os.fork is not available on this platform"
+            )
+        self.jobs = max(1, jobs)
+        self.timeout = timeout
+        self.servers: Dict[Tuple, _Server] = {}
+        self.closed = False
+        # Pool-lifetime monotonic sequence: a child abandoned by a
+        # timed-out call may deliver its frame during a *later* call;
+        # never reusing sequence numbers makes stale frames drop
+        # harmlessly instead of corrupting another cell's slot.
+        self._seq = 0
+        self.cold_boots = 0
+        self.warm_dispatches = 0
+        self.cold_dispatches = 0
+        self.serial_demotions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def warm_servers(self) -> int:
+        """Live servers currently holding a warm machine image."""
+        return sum(1 for server in self.servers.values() if server.alive)
+
+    def stats(self) -> Dict[str, int]:
+        """Dispatch accounting (daemon gauges; see repro.obs.service)."""
+        return {
+            "cold_boots": self.cold_boots,
+            "cold_dispatches": self.cold_dispatches,
+            "warm_dispatches": self.warm_dispatches,
+            "serial_demotions": self.serial_demotions,
+            "warm_servers": self.warm_servers,
+        }
+
+    def _ensure_server(self, key: Tuple, sample_cell) -> _Server:
+        server = self.servers.get(key)
+        if server is not None and server.alive:
+            return server
+        if server is not None:  # dead handle from an earlier demotion
+            self.servers.pop(key, None)
+        try:
+            server = _Server(key, sample_cell if key[0] == "env" else None)
+        except OSError as exc:
+            raise ForkServerUnavailable(
+                f"could not fork a server process: {exc}"
+            ) from exc
+        self.servers[key] = server
+        self.cold_boots += 1
+        return server
+
+    def _evict(self, server: _Server) -> None:
+        """Kill one server and forget it (a later call re-creates it)."""
+        server.kill()
+        server.reap(deadline=time.monotonic())
+        self.servers.pop(server.key, None)
+
+    def _sanitize(self) -> None:
+        """Drop queued-but-undispatched work after an aborted call."""
+        for server in self.servers.values():
+            server.queue.clear()
+
+    def close(self, kill: bool = False) -> None:
+        """Stop every server (gracefully unless ``kill``) and reap it."""
+        for server in self.servers.values():
+            if kill:
+                server.kill()
+            else:
+                server.request_stop()
+        grace = time.monotonic() + (0.0 if kill else _STOP_GRACE)
+        for server in self.servers.values():
+            server.reap(deadline=grace)
+        self.servers.clear()
+        self.closed = True
+
+    # ------------------------------------------------------------------
+    def run_indices(
+        self, cells: List, pending: List[int]
+    ) -> Dict[int, Dict[str, Any]]:
+        """Execute ``cells[i]`` for every ``i`` in ``pending``.
+
+        Returns ``{index: payload}``.  Raises
+        :class:`~repro.tools.runner.RunnerError` on timeout or a cell
+        that failed its retry (the pool survives both), and
+        :class:`ForkServerUnavailable` when a server cannot be forked
+        (the pool is closed).
+        """
+        if self.closed:
+            raise ForkServerUnavailable("fork-server pool is closed")
+        if not pending:
+            return {}
+        timeout = self.timeout
+        results: Dict[int, Dict[str, Any]] = {}
+        inflight: Dict[int, _Inflight] = {}
+        # index -> (first error, retry error); raised — lowest index
+        # first, matching the pool backend's cell-order iteration —
+        # once all in-flight work has drained.
+        failed: Dict[int, Tuple[str, str]] = {}
+
+        def demote_to_serial(server: _Server, message: str) -> None:
+            """A server died: run its remaining cells in-process."""
+            orphans = [rec.index for rec in inflight.values()
+                       if rec.server is server]
+            for seq in [s for s, rec in inflight.items()
+                        if rec.server is server]:
+                del inflight[seq]
+            orphans.extend(server.queue)
+            server.queue.clear()
+            server.mark_dead()
+            server.reap(deadline=time.monotonic())
+            self.servers.pop(server.key, None)
+            self.serial_demotions += 1
+            for index in orphans:
+                results[index] = _runner._run_serial(cells[index])
+
+        def dispatch(server: _Server, index: int,
+                     first_error: Optional[str]) -> None:
+            seq = self._seq
+            self._seq += 1
+            deadline = (time.monotonic() + timeout) if timeout else None
+            try:
+                server.dispatch(seq, cells[index])
+            except (BrokenPipeError, OSError):
+                # The index is in neither ``inflight`` nor the queue
+                # right now; requeue it so the demotion path picks it up.
+                server.queue.appendleft(index)
+                demote_to_serial(server, "fork server hung up")
+                return
+            if server.ever_dispatched:
+                self.warm_dispatches += 1
+            else:
+                self.cold_dispatches += 1
+                server.ever_dispatched = True
+            inflight[seq] = _Inflight(index, server, deadline, first_error)
+
+        def pump() -> None:
+            """Round-robin dispatch until ``jobs`` cells are in flight."""
+            while len(inflight) < self.jobs:
+                progressed = False
+                for server in list(self.servers.values()):
+                    if len(inflight) >= self.jobs:
+                        break
+                    if server.alive and server.queue:
+                        dispatch(server, server.queue.popleft(), None)
+                        progressed = True
+                if not progressed:
+                    break
+
+        try:
+            for index in pending:
+                key = environment_key(cells[index])
+                server = self._ensure_server(key, cells[index])
+                server.queue.append(index)
+
+            pump()
+            while inflight:
+                now = time.monotonic()
+                deadlines = [rec.deadline for rec in inflight.values()
+                             if rec.deadline is not None]
+                wait: Optional[float] = None
+                if deadlines:
+                    wait = max(0.0, min(deadlines) - now)
+                fds = {server.res_fd: server
+                       for server in self.servers.values()
+                       if not server.reaped}
+                readable, _, _ = select.select(list(fds), [], [], wait)
+                if not readable:
+                    # Deadline expired with nothing to read: kill and
+                    # evict only the servers with overdue children, so
+                    # the rest of the pool stays warm for other jobs.
+                    now = time.monotonic()
+                    victim = None
+                    for rec in list(inflight.values()):
+                        if rec.deadline is not None and now >= rec.deadline:
+                            victim = victim or cells[rec.index]
+                            self._evict(rec.server)
+                    if victim is not None:
+                        raise _runner.RunnerError(
+                            f"cell {victim.label()} timed out after "
+                            f"{timeout:.0f}s",
+                            victim,
+                        )
+                    continue
+                for fd in readable:
+                    server = fds[fd]
+                    data = os.read(fd, 65536)
+                    if not data:
+                        demote_to_serial(server, "fork server died")
+                        continue
+                    for frame in server.frames.feed(data):
+                        tag = frame[0]
+                        if tag == "fatal":
+                            demote_to_serial(
+                                server,
+                                f"environment setup failed: {frame[1]}",
+                            )
+                            continue
+                        _, seq, body = frame
+                        rec = inflight.pop(seq, None)
+                        if rec is None:
+                            continue  # late frame: abandoned retry or
+                            # a child left behind by a timed-out call
+                        if tag == "ok":
+                            results[rec.index] = body
+                            continue
+                        # "err"/"died": one retry from the pristine image.
+                        if rec.first_error is not None:
+                            failed[rec.index] = (rec.first_error, body)
+                            continue
+                        dispatch(rec.server, rec.index, first_error=body)
+                pump()
+            if failed:
+                index = min(failed)
+                first, second = failed[index]
+                cell = cells[index]
+                raise _runner.RunnerError(
+                    f"cell {cell.label()} failed after retry: {second} "
+                    f"(first attempt: {first})",
+                    cell,
+                )
+        except _runner.RunnerError:
+            # Per-call failure: the pool survives.  Queued-but-never-
+            # dispatched indices are dropped (the caller sees the
+            # exception, not partial results); abandoned in-flight
+            # children finish in their servers and their frames are
+            # discarded as stale sequence numbers.
+            self._sanitize()
+            raise
+        except BaseException:
+            self.close(kill=True)
+            raise
+        return results
+
+
 def run_pending(
     cells: List,
     pending: List[int],
@@ -403,156 +664,23 @@ def run_pending(
 ) -> Dict[int, Dict[str, Any]]:
     """Execute ``cells[i]`` for every ``i`` in ``pending``; see module doc.
 
-    Returns ``{index: payload}``.  Raises :class:`ForkServerUnavailable`
-    when the platform cannot fork, and
+    One-shot wrapper over :class:`ForkServerPool`: servers live for the
+    duration of this call only.  Returns ``{index: payload}``.  Raises
+    :class:`ForkServerUnavailable` when the platform cannot fork, and
     :class:`~repro.tools.runner.RunnerError` on timeout or a cell that
     failed its retry.
     """
-    if not fork_available():
-        raise ForkServerUnavailable("os.fork is not available on this platform")
     if not pending:
-        return {}
-
-    servers: Dict[Tuple, _Server] = {}
-    results: Dict[int, Dict[str, Any]] = {}
-    inflight: Dict[int, _Inflight] = {}
-    # index -> (first error, retry error); raised — lowest index first,
-    # matching the pool backend's cell-order iteration — once all
-    # in-flight work has drained.
-    failed: Dict[int, Tuple[str, str]] = {}
-    seq_counter = 0
-
-    def shutdown(kill: bool) -> None:
-        for server in servers.values():
-            if kill:
-                server.kill()
-            else:
-                server.request_stop()
-        grace = time.monotonic() + (0.0 if kill else _STOP_GRACE)
-        for server in servers.values():
-            server.reap(deadline=grace)
-
-    def demote_to_serial(server: _Server, message: str) -> None:
-        """A server died: run its remaining cells in-process."""
-        orphans = [rec.index for rec in inflight.values()
-                   if rec.server is server]
-        for seq in [s for s, rec in inflight.items()
-                    if rec.server is server]:
-            del inflight[seq]
-        orphans.extend(server.queue)
-        server.queue.clear()
-        server.mark_dead()
-        server.reap(deadline=time.monotonic())
-        for index in orphans:
-            results[index] = _runner._run_serial(cells[index])
-
-    def dispatch(server: _Server, index: int,
-                 first_error: Optional[str]) -> None:
-        nonlocal seq_counter
-        seq = seq_counter
-        seq_counter += 1
-        deadline = (time.monotonic() + timeout) if timeout else None
-        try:
-            server.dispatch(seq, cells[index])
-        except (BrokenPipeError, OSError):
-            # The index is in neither ``inflight`` nor the queue right
-            # now; requeue it so the demotion path picks it up.
-            server.queue.appendleft(index)
-            demote_to_serial(server, "fork server hung up")
-            return
-        inflight[seq] = _Inflight(index, server, deadline, first_error)
-
-    def pump() -> None:
-        """Round-robin dispatch until ``jobs`` cells are in flight."""
-        while len(inflight) < jobs:
-            progressed = False
-            for server in list(servers.values()):
-                if len(inflight) >= jobs:
-                    break
-                if server.alive and server.queue:
-                    dispatch(server, server.queue.popleft(), None)
-                    progressed = True
-            if not progressed:
-                break
-
-    try:
-        for index in pending:
-            key = environment_key(cells[index])
-            if key not in servers:
-                try:
-                    servers[key] = _Server(
-                        key,
-                        cells[index] if key[0] == "env" else None,
-                    )
-                except OSError as exc:
-                    shutdown(kill=True)
-                    raise ForkServerUnavailable(
-                        f"could not fork a server process: {exc}"
-                    ) from exc
-            servers[key].queue.append(index)
-
-        pump()
-        while inflight:
-            now = time.monotonic()
-            deadlines = [rec.deadline for rec in inflight.values()
-                         if rec.deadline is not None]
-            wait: Optional[float] = None
-            if deadlines:
-                wait = max(0.0, min(deadlines) - now)
-            fds = {server.res_fd: server for server in servers.values()
-                   if not server.reaped}
-            readable, _, _ = select.select(list(fds), [], [], wait)
-            if not readable:
-                # Deadline expired with nothing to read: find the victim.
-                now = time.monotonic()
-                for rec in inflight.values():
-                    if rec.deadline is not None and now >= rec.deadline:
-                        cell = cells[rec.index]
-                        shutdown(kill=True)
-                        raise _runner.RunnerError(
-                            f"cell {cell.label()} timed out after "
-                            f"{timeout:.0f}s",
-                            cell,
-                        )
-                continue
-            for fd in readable:
-                server = fds[fd]
-                data = os.read(fd, 65536)
-                if not data:
-                    demote_to_serial(server, "fork server died")
-                    continue
-                for frame in server.frames.feed(data):
-                    tag = frame[0]
-                    if tag == "fatal":
-                        demote_to_serial(
-                            server, f"environment setup failed: {frame[1]}"
-                        )
-                        continue
-                    _, seq, body = frame
-                    rec = inflight.pop(seq, None)
-                    if rec is None:
-                        continue  # late frame for an abandoned retry
-                    if tag == "ok":
-                        results[rec.index] = body
-                        continue
-                    # "err" or "died": one retry from the pristine image.
-                    if rec.first_error is not None:
-                        failed[rec.index] = (rec.first_error, body)
-                        continue
-                    dispatch(rec.server, rec.index, first_error=body)
-            pump()
-        if failed:
-            index = min(failed)
-            first, second = failed[index]
-            cell = cells[index]
-            shutdown(kill=True)
-            raise _runner.RunnerError(
-                f"cell {cell.label()} failed after retry: {second} "
-                f"(first attempt: {first})",
-                cell,
+        if not fork_available():
+            raise ForkServerUnavailable(
+                "os.fork is not available on this platform"
             )
-        shutdown(kill=False)
+        return {}
+    pool = ForkServerPool(jobs=jobs, timeout=timeout)
+    try:
+        results = pool.run_indices(cells, pending)
     except BaseException:
-        shutdown(kill=True)
+        pool.close(kill=True)
         raise
+    pool.close(kill=False)
     return results

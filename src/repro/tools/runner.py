@@ -108,6 +108,26 @@ KIND_ON_SYSTEM: Dict[str, str] = {
 BACKENDS = ("auto", "forkserver", "pool", "serial")
 
 
+def validate_backend(value: str, source: str = "backend") -> str:
+    """Normalize a backend name, raising a clear error on nonsense.
+
+    Case and surrounding whitespace are forgiven (``"Pool"`` from a CI
+    matrix means ``pool``); anything else raises :class:`ValueError`
+    naming both the offending ``source`` (the argument or the
+    ``REPRO_BENCH_BACKEND`` environment variable) and every valid
+    backend.  An unrecognized value must fail loudly here — silently
+    degrading to a different backend would misattribute every benchmark
+    number produced under the typo.
+    """
+    normalized = str(value).strip().lower()
+    if normalized not in BACKENDS:
+        raise ValueError(
+            f"{source}: unknown backend {value!r}; valid backends are "
+            f"{', '.join(BACKENDS)}"
+        )
+    return normalized
+
+
 def resolve_hook(target: str) -> Callable:
     """Resolve a ``"module:function"`` registry entry to the callable."""
     module_name, _, func_name = target.partition(":")
@@ -452,11 +472,11 @@ def _resolve_backend(backend: str, jobs: int, executor_factory,
     supplying ``executor_factory`` is handed the pool path: the factory
     *is* pool machinery, and tests use it to observe dispatch.
     """
-    choice = os.environ.get("REPRO_BENCH_BACKEND") or backend
-    if choice not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {choice!r}; choose from {', '.join(BACKENDS)}"
-        )
+    forced = os.environ.get("REPRO_BENCH_BACKEND")
+    if forced:
+        choice = validate_backend(forced, source="REPRO_BENCH_BACKEND")
+    else:
+        choice = validate_backend(backend)
     if choice == "auto":
         if pending is not None and pending < AUTO_MIN_CELLS:
             return "serial"

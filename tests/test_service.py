@@ -1,0 +1,593 @@
+"""Experiment service: protocol, queue, daemon, client (ISSUE 8).
+
+The contract: results obtained through a ``repro serve`` daemon are
+byte-identical to a local serial ``run_cells`` run; warm fork-server
+pools are shared across clients (a second tenant's job shows zero cold
+boots); integrity is enforced on every streamed payload; a SIGTERM
+drain finishes admitted jobs and leaks no child processes; a client
+disconnecting mid-job orphans nothing.
+"""
+
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.service import daemon as daemon_mod
+from repro.service.client import ReproServiceClient, ServiceError
+from repro.service.daemon import (
+    DaemonConfig,
+    ReproDaemon,
+    resolve_daemon_backend,
+)
+from repro.service.protocol import (
+    FrameDecoder,
+    FrameError,
+    cell_from_wire,
+    cell_to_wire,
+    encode_frame,
+)
+from repro.service.queue import Job, JobQueue, QuotaExceeded
+from repro.config import CostModel, PlatformConfig
+from repro.tools import forkserver
+from repro.tools.runner import Cell, run_cells, validate_backend
+
+from tests.test_forkserver import live_children  # shared /proc helper
+
+
+def echo_cell(name, value, cacheable=False):
+    return Cell(kind="selftest", environment=name, workload="echo",
+                spec={"mode": "echo", "value": value}, cacheable=cacheable)
+
+
+def sleep_cell(name, seconds):
+    return Cell(kind="selftest", environment=name, workload="nap",
+                spec={"mode": "sleep", "seconds": seconds}, cacheable=False)
+
+
+@pytest.fixture
+def no_backend_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_BACKEND", raising=False)
+
+
+@pytest.fixture
+def service(tmp_path, no_backend_env):
+    """An in-process daemon on a tmp socket, plus a client factory."""
+    sock_path = str(tmp_path / "repro.sock")
+    cache_dir = str(tmp_path / "cache")
+    config = DaemonConfig(socket_path=sock_path, jobs=2, quota=3,
+                          cache_dir=cache_dir)
+    daemon = ReproDaemon(config)
+    ready = threading.Event()
+    thread = threading.Thread(target=daemon.serve, args=(ready,),
+                              daemon=True)
+    thread.start()
+    assert ready.wait(10), "daemon never came up"
+
+    clients = []
+
+    def connect(**kwargs):
+        client = ReproServiceClient(socket_path=sock_path, timeout=60,
+                                    **kwargs)
+        clients.append(client)
+        return client.connect()
+
+    yield daemon, connect
+    for client in clients:
+        client.close()
+    daemon.request_shutdown()
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "daemon failed to drain"
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_frames_reassemble_across_arbitrary_chunking(self):
+        messages = [{"op": "status"}, {"ok": True, "value": "x" * 500}]
+        stream = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(0, len(stream), 5):
+            out.extend(decoder.feed(stream[i:i + 5]))
+        assert out == messages
+
+    def test_oversized_announced_frame_is_rejected(self):
+        decoder = FrameDecoder()
+        header = struct.pack(">Q", 1 << 60)
+        with pytest.raises(FrameError, match="announced"):
+            decoder.feed(header)
+
+    def test_non_json_frame_is_rejected(self):
+        blob = b"\x80\x04K*."  # a pickle, exactly what must NOT decode
+        with pytest.raises(FrameError, match="non-JSON"):
+            FrameDecoder().feed(struct.pack(">Q", len(blob)) + blob)
+
+    def test_cell_round_trips_with_platform_config(self):
+        cell = Cell(
+            kind="table1", environment="hypernel", workload="lmbench",
+            spec={"ops": ["mmap"], "warmup": 1, "iterations": 2},
+            platform_config=PlatformConfig(
+                dram_bytes=64 << 20, secure_bytes=8 << 20,
+                costs=CostModel(l1_hit=7),
+            ),
+        )
+        rebuilt = cell_from_wire(json.loads(
+            json.dumps(cell_to_wire(cell), sort_keys=True)))
+        assert rebuilt == cell
+        assert isinstance(rebuilt.platform_config.costs, CostModel)
+        assert rebuilt.platform_config.costs.l1_hit == 7
+
+    def test_cell_without_config_round_trips(self):
+        cell = echo_cell("a", 3)
+        assert cell_from_wire(cell_to_wire(cell)) == cell
+
+    def test_non_json_spec_is_rejected_loudly(self):
+        cell = Cell(kind="selftest", environment="a", workload="w",
+                    spec={"apps": [object()]}, cacheable=False)
+        with pytest.raises(FrameError, match="not JSON-serializable"):
+            cell_to_wire(cell)
+
+
+# ----------------------------------------------------------------------
+# Job queue
+# ----------------------------------------------------------------------
+class TestJobQueue:
+    def make_job(self, job_id, client="c", priority=0):
+        return Job(job_id=job_id, client=client,
+                   cells=[echo_cell("e", 1)], priority=priority)
+
+    def test_priority_order_with_fifo_tiebreak(self):
+        queue = JobQueue(quota=10)
+        queue.submit(self.make_job("low1", priority=0))
+        queue.submit(self.make_job("high", priority=5))
+        queue.submit(self.make_job("low2", priority=0))
+        order = [queue.next_ready(timeout=0.1).job_id for _ in range(3)]
+        assert order == ["high", "low1", "low2"]
+
+    def test_quota_counts_only_unfinished_jobs(self):
+        queue = JobQueue(quota=2)
+        first = queue.submit(self.make_job("a"))
+        queue.submit(self.make_job("b"))
+        with pytest.raises(QuotaExceeded, match="quota is 2"):
+            queue.submit(self.make_job("c"))
+        first.state = "done"
+        queue.submit(self.make_job("c"))  # freed slot admits again
+        # other clients are unaffected by a full tenant
+        queue.submit(self.make_job("d", client="other"))
+
+    def test_cancel_queued_job_never_runs(self):
+        queue = JobQueue(quota=10)
+        queue.submit(self.make_job("a"))
+        queue.submit(self.make_job("b"))
+        assert queue.cancel("a").state == "cancelled"
+        assert queue.next_ready(timeout=0.1).job_id == "b"
+        assert queue.next_ready(timeout=0.05) is None
+
+    def test_cancel_running_job_sets_flag(self):
+        queue = JobQueue(quota=10)
+        queue.submit(self.make_job("a"))
+        job = queue.next_ready(timeout=0.1)
+        assert queue.cancel("a") is job
+        assert job.state == "running" and job.cancel_requested
+
+    def test_stop_drains_then_returns_none(self):
+        queue = JobQueue(quota=10)
+        queue.submit(self.make_job("a"))
+        queue.stop()
+        assert queue.next_ready().job_id == "a"
+        assert queue.next_ready() is None
+
+    def test_unknown_cancel_returns_none(self):
+        assert JobQueue().cancel("nope") is None
+
+
+# ----------------------------------------------------------------------
+# Backend validation (satellite: unrecognized REPRO_BENCH_BACKEND)
+# ----------------------------------------------------------------------
+class TestBackendValidation:
+    def test_validate_normalizes_case_and_whitespace(self):
+        assert validate_backend(" Pool\n") == "pool"
+        assert validate_backend("FORKSERVER") == "forkserver"
+
+    def test_unknown_value_names_source_and_valid_backends(self):
+        with pytest.raises(ValueError) as excinfo:
+            validate_backend("warpdrive", source="REPRO_BENCH_BACKEND")
+        message = str(excinfo.value)
+        assert "REPRO_BENCH_BACKEND" in message
+        assert "warpdrive" in message
+        for name in ("auto", "forkserver", "pool", "serial"):
+            assert name in message
+
+    def test_run_cells_rejects_bad_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "warpdrive")
+        with pytest.raises(ValueError,
+                           match="REPRO_BENCH_BACKEND.*warpdrive"):
+            run_cells([echo_cell("a", 1)], backend="auto")
+
+    def test_daemon_startup_rejects_bad_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "warpdrive")
+        with pytest.raises(ValueError, match="REPRO_BENCH_BACKEND"):
+            ReproDaemon(DaemonConfig())
+
+    def test_simspeed_script_rejects_bad_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "warpdrive")
+        sys.path.insert(0, "scripts")
+        try:
+            import check_simspeed
+        finally:
+            sys.path.pop(0)
+        with pytest.raises(ValueError, match="REPRO_BENCH_BACKEND"):
+            check_simspeed.main(["--iters-scale", "0.01"])
+
+    def test_daemon_backend_resolution(self, no_backend_env, monkeypatch):
+        expected = "forkserver" if forkserver.fork_available() else "serial"
+        assert resolve_daemon_backend("auto") == expected
+        assert resolve_daemon_backend("pool") == "serial"
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "serial")
+        assert resolve_daemon_backend("auto") == "serial"
+
+
+# ----------------------------------------------------------------------
+# Daemon round trip
+# ----------------------------------------------------------------------
+class TestDaemonRoundTrip:
+    def test_results_byte_identical_to_serial_run_cells(self, service):
+        _, connect = service
+        cells = [echo_cell(f"env{i % 2}", i * 3) for i in range(5)]
+        payloads = connect().run_cells(cells, label="roundtrip")
+        serial = run_cells(cells, backend="serial", cache=None,
+                           integrity="ignore")
+        # No sort_keys: payload dict order is semantic (table rows render
+        # in counts order) and must survive the wire round trip exactly.
+        assert json.dumps(payloads) == json.dumps(serial)
+
+    def test_streamed_cells_arrive_in_progress_order(self, service):
+        _, connect = service
+        events = []
+        connect().run_cells(
+            [echo_cell(f"e{i}", i) for i in range(4)],
+            on_cell=events.append,
+        )
+        assert [e["completed"] for e in events] == [1, 2, 3, 4]
+        assert all(e["cells"] == 4 for e in events)
+
+    def test_cached_cells_are_served_without_dispatch(self, service):
+        _, connect = service
+        cells = [echo_cell("memo", 42, cacheable=True)]
+        client = connect()
+        first = client.run_cells(cells)
+        reply = client.submit(cells, stream=False)
+        result = client.result(reply["job"], wait=True)
+        assert result["state"] == "done"
+        assert result["payloads"] == first
+        assert result["cached"] == 1
+        assert result["pool"]["cold_boots"] == 0
+
+    def test_status_and_result_for_unknown_job(self, service):
+        _, connect = service
+        client = connect()
+        with pytest.raises(ServiceError, match="unknown-job"):
+            client.status("j9999")
+        with pytest.raises(ServiceError, match="unknown-job"):
+            client.result("j9999")
+
+    def test_unknown_cell_kind_rejected_at_submit(self, service):
+        _, connect = service
+        bogus = Cell(kind="warpdrive", environment="a", workload="w",
+                     cacheable=False)
+        with pytest.raises(ServiceError, match="bad-cell"):
+            connect().submit([bogus])
+
+    def test_quota_rejection_over_the_socket(self, service):
+        daemon, connect = service
+        client = connect(client="greedy")
+        for _ in range(daemon.config.quota):
+            client.submit([sleep_cell("z", 0.4)], stream=False)
+        with pytest.raises(ServiceError, match="quota"):
+            client.submit([echo_cell("a", 1)])
+        assert daemon.stats.counters["quota_rejections"] == 1
+
+    def test_cancel_queued_job(self, service):
+        _, connect = service
+        client = connect()
+        # a sleeper occupies the dispatcher so the next job stays queued
+        client.submit([sleep_cell("s", 0.8)], stream=False)
+        reply = client.submit([echo_cell("a", 1)], stream=False)
+        cancel = client.cancel(reply["job"])
+        assert cancel["state"] in ("cancelled", "running")
+        final = client.result(reply["job"], wait=True)
+        assert final["state"] == "cancelled"
+
+    def test_draining_daemon_rejects_new_submissions(self, tmp_path,
+                                                     no_backend_env):
+        daemon = ReproDaemon(DaemonConfig(
+            socket_path=str(tmp_path / "x.sock"), no_cache=True))
+        daemon._draining = True
+
+        class StubConn:
+            id = 1
+            client = "stub"
+
+        reply = daemon._op_submit(
+            StubConn(), {"cells": [cell_to_wire(echo_cell("a", 1))]})
+        assert reply == {"ok": False, "code": "draining",
+                         "error": "daemon is draining and accepts "
+                                  "no new jobs"}
+        assert daemon.stats.counters["rejected_draining"] == 1
+
+    def test_tail_metrics_streams_and_ends(self, service):
+        _, connect = service
+        snapshots = list(connect().tail_metrics(interval=0.05, count=2))
+        assert len(snapshots) == 2
+        for snapshot in snapshots:
+            assert "queue_depth" in snapshot["gauges"]
+            assert "cold_boots" in snapshot["counters"]
+
+    def test_integrity_enforced_on_every_streamed_payload(
+        self, service, monkeypatch
+    ):
+        daemon, connect = service
+
+        def failing_verify(labels, payloads, waive=()):
+            raise IntegrityError(f"injected loss in {labels[0]}")
+
+        monkeypatch.setattr(daemon_mod, "verify_payload_integrity",
+                            failing_verify)
+        client = connect()
+        with pytest.raises(ServiceError, match="injected loss"):
+            client.run_cells([echo_cell("lossy", 1)])
+        assert daemon.stats.counters["integrity_failures"] == 1
+        # waiving is the client's explicit choice, not the default
+        reply = client.submit([echo_cell("waived", 2)], integrity="ignore",
+                              stream=False)
+        final = client.result(reply["job"], wait=True)
+        assert final["state"] == "done"
+
+
+# ----------------------------------------------------------------------
+# Warm pool shared across clients
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not forkserver.fork_available(),
+                    reason="warm pools need os.fork")
+class TestWarmPoolSharing:
+    def test_second_client_sees_zero_cold_boots(self, service):
+        _, connect = service
+        first = connect(client="tenant-a")
+        reply_a = first.submit([echo_cell("shared", i) for i in range(3)],
+                               stream=False)
+        result_a = first.result(reply_a["job"], wait=True)
+        assert result_a["state"] == "done"
+        assert result_a["pool"]["cold_boots"] >= 1  # paid the boot
+
+        # Different client, different values (cache misses: the cells
+        # are uncacheable anyway), same environment key -> warm pool.
+        second = connect(client="tenant-b")
+        reply_b = second.submit([echo_cell("shared", 100 + i)
+                                 for i in range(3)], stream=False)
+        result_b = second.result(reply_b["job"], wait=True)
+        assert result_b["state"] == "done"
+        assert result_b["cached"] == 0
+        assert result_b["pool"]["cold_boots"] == 0
+        assert result_b["pool"]["warm_dispatches"] == 3
+
+    def test_pool_survives_a_failing_job(self, service):
+        _, connect = service
+        client = connect()
+        bad = Cell(kind="selftest", environment="shared", workload="fault",
+                   spec={"mode": "fail"}, cacheable=False)
+        reply = client.submit([bad], stream=False)
+        assert client.result(reply["job"], wait=True)["state"] == "failed"
+        # the daemon keeps serving on the same warm pool
+        payloads = client.run_cells([echo_cell("shared", 7)])
+        assert payloads[0]["value"] == 7
+
+
+# ----------------------------------------------------------------------
+# Client disconnect mid-job (satellite: orphan cleanup, no leaks)
+# ----------------------------------------------------------------------
+class TestClientDisconnect:
+    def test_disconnect_cancels_streamed_job_without_leaking(self, service):
+        daemon, connect = service
+        client = connect()
+        # Warm the pool first: its long-lived server process is a
+        # legitimate child, not a leak — snapshot /proc after it exists.
+        client.run_cells([echo_cell("warmup", 0)])
+        before = live_children()
+        reply = client.submit([sleep_cell(f"s{i}", 0.3) for i in range(6)],
+                              stream=True)
+        job_id = reply["job"]
+        client.close()  # walk away mid-job
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            job = daemon.queue.get(job_id)
+            if job.finished:
+                break
+            time.sleep(0.05)
+        assert daemon.queue.get(job_id).state == "cancelled"
+        assert daemon.stats.counters["orphaned_jobs_cancelled"] == 1
+        # other tenants are untouched and the pool still answers
+        survivor = connect()
+        assert survivor.run_cells([echo_cell("a", 5)])[0]["value"] == 5
+        if before is not None:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                leaked = live_children() - before
+                if not leaked:
+                    break
+                time.sleep(0.1)
+            assert not leaked, f"leaked children: {leaked}"
+
+    def test_disconnect_does_not_cancel_detached_jobs(self, service):
+        daemon, connect = service
+        client = connect()
+        reply = client.submit([sleep_cell("d", 0.3)], stream=False)
+        client.close()
+        job_id = reply["job"]
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            if daemon.queue.get(job_id).finished:
+                break
+            time.sleep(0.05)
+        # a detached job's result stays fetchable by a later connection
+        assert daemon.queue.get(job_id).state == "done"
+        final = connect().result(job_id, wait=True)
+        assert final["payloads"][0]["value"] == "slept"
+
+
+# ----------------------------------------------------------------------
+# cache prune racing an active daemon (satellite)
+# ----------------------------------------------------------------------
+class TestPruneRace:
+    def test_prune_during_dispatch_never_corrupts_results(self, service,
+                                                          tmp_path):
+        daemon, connect = service
+        cache_dir = daemon.config.cache_dir
+        stop = threading.Event()
+        errors = []
+
+        def pruner():
+            from repro.tools.runner import prune_cache
+            while not stop.is_set():
+                try:
+                    prune_cache(cache_dir, max_age_days=0.0)
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(exc)
+                time.sleep(0.01)
+
+        thread = threading.Thread(target=pruner, daemon=True)
+        thread.start()
+        try:
+            client = connect()
+            for round_no in range(4):
+                cells = [echo_cell("memo", (round_no, i), cacheable=True)
+                         for i in range(3)]
+                payloads = client.run_cells(cells)
+                assert [tuple(p["value"]) for p in payloads] == [
+                    (round_no, i) for i in range(3)
+                ]
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert errors == []
+
+    def test_cli_prune_subprocess_during_dispatch(self, service):
+        daemon, connect = service
+        client = connect()
+        # seed the cache, then prune via the CLI while submitting more
+        client.run_cells([echo_cell("memo", "seed", cacheable=True)])
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "cache", "prune",
+             "--dir", daemon.config.cache_dir, "--max-age", "0"],
+            env=dict(os.environ, PYTHONPATH="src"),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        payloads = client.run_cells(
+            [echo_cell("memo", f"live{i}", cacheable=True)
+             for i in range(3)])
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out
+        assert [p["value"] for p in payloads] == ["live0", "live1", "live2"]
+
+
+# ----------------------------------------------------------------------
+# SIGTERM drain (subprocess, the real signal path)
+# ----------------------------------------------------------------------
+class TestSigtermDrain:
+    def test_sigterm_finishes_admitted_jobs_and_exits_clean(self, tmp_path):
+        sock = str(tmp_path / "drain.sock")
+        env = dict(os.environ, PYTHONPATH="src",
+                   REPRO_CACHE_DIR=str(tmp_path / "cache"))
+        env.pop("REPRO_BENCH_BACKEND", None)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 20
+            while not os.path.exists(sock):
+                assert time.monotonic() < deadline, "daemon never bound"
+                assert proc.poll() is None, proc.communicate()[0]
+                time.sleep(0.05)
+            client = ReproServiceClient(socket_path=sock, timeout=60)
+            with client:
+                reply = client.submit([sleep_cell("s", 0.5)], stream=False)
+                proc.send_signal(signal.SIGTERM)
+                # admitted before the signal: must still complete
+                final = client.result(reply["job"], wait=True)
+            assert final["state"] == "done"
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "drained and stopped" in out
+        assert not os.path.exists(sock)
+
+    def test_sigterm_leaves_no_children_in_process_drain(self, service):
+        # In-process twin of the subprocess test: the daemon's pool
+        # children are OUR children here, so /proc accounting can prove
+        # the drain reaped every one of them (fixture teardown drains).
+        daemon, connect = service
+        before = live_children()
+        connect().run_cells([echo_cell("e", 1)])
+        daemon.request_shutdown()
+        deadline = time.monotonic() + 20
+        while daemon._dispatcher.is_alive():
+            assert time.monotonic() < deadline, "dispatcher never exited"
+            time.sleep(0.05)
+        if before is not None:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                leaked = live_children() - before
+                if not leaked:
+                    break
+                time.sleep(0.1)
+            assert not leaked, f"leaked children: {leaked}"
+
+
+# ----------------------------------------------------------------------
+# Stale socket handling
+# ----------------------------------------------------------------------
+class TestSocketLifecycle:
+    def test_stale_socket_is_replaced(self, tmp_path, no_backend_env):
+        path = str(tmp_path / "stale.sock")
+        dead = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        dead.bind(path)
+        dead.close()  # path remains, nobody listens: a crashed daemon
+        daemon = ReproDaemon(DaemonConfig(socket_path=path, no_cache=True))
+        ready = threading.Event()
+        thread = threading.Thread(target=daemon.serve, args=(ready,),
+                                  daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        with ReproServiceClient(socket_path=path, timeout=30) as client:
+            assert client.status()["jobs"] == []
+        daemon.request_shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_second_daemon_on_live_socket_refuses(self, service):
+        daemon, _ = service
+        twin = ReproDaemon(DaemonConfig(
+            socket_path=daemon.config.resolved_socket_path(),
+            no_cache=True))
+        with pytest.raises(ServiceError, match="already listening"):
+            twin.serve()
+
+    def test_client_error_when_no_daemon(self, tmp_path):
+        client = ReproServiceClient(
+            socket_path=str(tmp_path / "nobody.sock"))
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.connect()
