@@ -17,6 +17,26 @@ contract (DESIGN.md §5g):
    in-process runner produces;
 4. SIGTERM drains cleanly: exit code 0, socket unlinked.
 
+With ``--fabric`` (the default; ``--no-fabric`` skips) the shard-fabric
+phases (DESIGN.md §5h) follow:
+
+5. a sharded table1+table2 grid (table1 cells adaptively split into
+   per-op subcells) run on a **2-shard local fabric** returns payloads
+   byte-identical to a serial ``run_cells`` run, and the merged table
+   renders identically to the unsplit serial table;
+6. the 2-shard run is at least ``--min-fabric-speedup`` (default 1.5x,
+   env ``REPRO_MIN_FABRIC_SPEEDUP``) faster than the same grid through
+   a **single daemon** — gated on hosts with >= 4 cores, report-only on
+   smaller hosts (a 1-core machine cannot exhibit the speedup);
+7. SIGKILLing one shard mid-batch still completes the batch
+   byte-identically (dead-shard detection requeues its cells onto the
+   survivor), and after the coordinator drains, this process has **zero
+   leaked children** (verified via /proc) — every spawned daemon was
+   reaped.
+
+The fabric-run monitored payloads are appended to the ``--jsonl`` file,
+so the integrity gate also covers payloads that crossed shard sockets.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_service.py
@@ -34,6 +54,7 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -47,6 +68,13 @@ from repro.tools import forkserver  # noqa: E402
 from repro.tools.runner import run_cells  # noqa: E402
 
 GATE_OPS = ["syscall stat", "signal install"]
+
+#: The fabric speedup gate only binds where the parallelism can exist.
+SPEEDUP_GATE_MIN_CORES = 4
+
+#: How many times the kill-one-shard phase may retry until the SIGKILL
+#: provably lands mid-batch (timing is host-dependent).
+KILL_ATTEMPTS = 3
 
 
 def small_platform() -> PlatformConfig:
@@ -76,6 +104,181 @@ def boot_daemon(socket_path: str, cache_dir: str) -> subprocess.Popen:
     return daemon
 
 
+def live_children():
+    """PIDs of this process's direct children, via /proc.
+
+    Returns None where procfs is unavailable (the leak check is then
+    skipped rather than guessed at).
+    """
+    pids = set()
+    try:
+        for task in os.listdir("/proc/self/task"):
+            with open(f"/proc/self/task/{task}/children",
+                      encoding="ascii") as handle:
+                pids.update(int(pid) for pid in handle.read().split())
+    except OSError:
+        return None
+    return pids
+
+
+def timed_fabric_run(grid, shards, socket_dir, label):
+    """Run ``grid`` on a fresh ``shards``-wide fabric; time the batch.
+
+    The coordinator is spawned cache-less so the single-daemon and
+    2-shard timings compare pure execution, not cache luck.
+    """
+    from repro.service import fabric
+
+    config = fabric.FabricConfig(shards=shards, jobs=2, no_cache=True,
+                                 socket_dir=socket_dir)
+    coordinator = fabric.FabricCoordinator(config)
+    try:
+        coordinator.start()
+        started = time.monotonic()
+        payloads = coordinator.run_cells(grid, label=label)
+        wall = time.monotonic() - started
+        snapshot = coordinator.stats_snapshot()
+    finally:
+        coordinator.stop()
+    return payloads, wall, snapshot
+
+
+def kill_one_shard_run(grid, socket_dir, delay):
+    """Run ``grid`` on a 2-shard fabric, SIGKILLing one shard mid-batch."""
+    from repro.service import fabric
+
+    config = fabric.FabricConfig(shards=2, jobs=2, no_cache=True,
+                                 socket_dir=socket_dir)
+    coordinator = fabric.FabricCoordinator(config)
+    try:
+        coordinator.start()
+        victim = coordinator.live_shards()[0]
+        timer = threading.Timer(delay, victim.process.kill)
+        timer.start()
+        try:
+            payloads = coordinator.run_cells(grid, label="smoke-kill")
+        finally:
+            timer.cancel()
+        snapshot = coordinator.stats_snapshot()
+    finally:
+        coordinator.stop()
+    return payloads, snapshot
+
+
+def run_fabric_phases(args, workdir, jsonl_path) -> int:
+    """Phases 5-7: sharded identity, speedup gate, kill-one-shard."""
+    from repro.service import fabric
+
+    failures = 0
+    before = live_children()
+
+    # The gated grid: table1 cells adaptively split into per-op
+    # subcells (the fabric's load-balance transform) plus a monitored
+    # table2 batch so shard traffic includes MBM integrity evidence.
+    table1 = table1_cells(small_platform, warmup=args.warmup,
+                          iterations=args.iterations, ops=GATE_OPS)
+    split = fabric.adaptive_split(table1, 2 * len(table1))
+    mon_cells = table2_cells(scale=args.scale,
+                             platform_factory=small_platform)
+    grid = split + mon_cells
+    serial = run_cells(grid, backend="serial", cache=None,
+                       integrity="enforce")
+
+    # 5. 2-shard byte-identity (payloads AND the merged rendering,
+    # which must match the *unsplit* serial table exactly).
+    sharded, two_wall, _ = timed_fabric_run(
+        grid, 2, os.path.join(workdir, "fabric2"), "smoke-fabric2")
+    unsplit_serial = run_cells(table1, backend="serial", cache=None,
+                               integrity="enforce")
+    if json.dumps(sharded) != json.dumps(serial):
+        print("FAIL: 2-shard fabric payloads differ from serial run_cells")
+        failures += 1
+    elif (merge_table1(split, sharded[:len(split)]).format()
+            != merge_table1(table1, unsplit_serial).format()):
+        print("FAIL: fabric-merged table renders differently from the "
+              "unsplit serial table")
+        failures += 1
+    else:
+        print(f"ok: 2-shard fabric byte-identical to serial "
+              f"({len(grid)} cells, {len(split)} table1 subcells)")
+
+    # 6. speedup vs a single daemon — gated only where the parallelism
+    # can physically exist.
+    single, single_wall, _ = timed_fabric_run(
+        grid, 1, os.path.join(workdir, "fabric1"), "smoke-fabric1")
+    if json.dumps(single) != json.dumps(serial):
+        print("FAIL: single-daemon fabric payloads differ from serial")
+        failures += 1
+    cores = os.cpu_count() or 1
+    speedup = single_wall / two_wall if two_wall > 0 else float("inf")
+    print(f"fabric speedup: single daemon {single_wall:.2f}s, "
+          f"2 shards {two_wall:.2f}s -> {speedup:.2f}x "
+          f"(host has {cores} core(s))")
+    if cores < SPEEDUP_GATE_MIN_CORES:
+        print(f"note: speedup gate is report-only below "
+              f"{SPEEDUP_GATE_MIN_CORES} cores")
+    elif speedup < args.min_fabric_speedup:
+        print(f"FAIL: 2-shard speedup {speedup:.2f}x < required "
+              f"{args.min_fabric_speedup:.2f}x on a {cores}-core host")
+        failures += 1
+    else:
+        print(f"ok: 2-shard speedup {speedup:.2f}x >= "
+              f"{args.min_fabric_speedup:.2f}x")
+
+    # 7. SIGKILL one shard mid-batch: the batch must still complete
+    # byte-identically via dead-shard requeue.  The kill delay is a
+    # fraction of the measured batch wall; retry until it provably
+    # landed mid-batch (shard_failures observed).
+    observed = None
+    for attempt in range(KILL_ATTEMPTS):
+        delay = max(0.1, min(1.0, 0.25 * two_wall))
+        payloads, snapshot = kill_one_shard_run(
+            grid, os.path.join(workdir, f"fabric-kill{attempt}"), delay)
+        if json.dumps(payloads) != json.dumps(serial):
+            print("FAIL: post-kill fabric payloads differ from serial "
+                  "run_cells")
+            failures += 1
+            observed = snapshot
+            break
+        if snapshot["counters"].get("shard_failures"):
+            observed = snapshot
+            counters = snapshot["counters"]
+            print(f"ok: shard killed mid-batch, completed "
+                  f"byte-identically (requeued="
+                  f"{counters.get('cells_requeued', 0)}, "
+                  f"local_fallback="
+                  f"{counters.get('cells_local_fallback', 0)})")
+            break
+        print(f"note: kill attempt {attempt + 1} landed after batch "
+              f"completion; retrying")
+    if observed is None:
+        print(f"FAIL: shard kill never landed mid-batch in "
+              f"{KILL_ATTEMPTS} attempts")
+        failures += 1
+
+    # Zero leaked children: every daemon the fabric spawned (including
+    # the SIGKILLed one) must be reaped once the coordinators drain.
+    after = live_children()
+    if before is None or after is None:
+        print("skip: /proc child-leak check (no procfs here)")
+    elif after - before:
+        print(f"FAIL: fabric leaked children: {sorted(after - before)}")
+        failures += 1
+    else:
+        print("ok: zero leaked children after fabric drain (/proc)")
+
+    # Feed the shard-crossed monitored payloads to the integrity gate
+    # too, so enforcement provably covers the fabric path.
+    with open(jsonl_path, "a", encoding="utf-8") as handle:
+        for cell, payload in zip(mon_cells, sharded[len(split):]):
+            record = {"label": cell.label(),
+                      "metrics": payload.get("metrics", {})}
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"fabric monitored metrics appended: {jsonl_path} "
+          f"({len(mon_cells)} records)")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jsonl", default=None, metavar="PATH",
@@ -86,6 +289,16 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=0.02,
                         help="workload scale for the monitored (table2) "
                         "batch that feeds the integrity gate")
+    parser.add_argument("--fabric", dest="fabric", action="store_true",
+                        default=True,
+                        help="run the shard-fabric phases (default)")
+    parser.add_argument("--no-fabric", dest="fabric", action="store_false",
+                        help="skip the shard-fabric phases")
+    parser.add_argument(
+        "--min-fabric-speedup", type=float,
+        default=float(os.environ.get("REPRO_MIN_FABRIC_SPEEDUP", "1.5")),
+        help="required 2-shard speedup vs a single daemon on hosts with "
+        f">= {SPEEDUP_GATE_MIN_CORES} cores (report-only below)")
     args = parser.parse_args(argv)
 
     workdir = tempfile.mkdtemp(prefix="repro-service-smoke-")
@@ -178,6 +391,9 @@ def main(argv=None) -> int:
         if daemon.poll() is None:
             daemon.kill()
             daemon.communicate()
+
+    if args.fabric:
+        failures += run_fabric_phases(args, workdir, jsonl_path)
     return 1 if failures else 0
 
 

@@ -179,6 +179,7 @@ def run_figure6(
     backend: str = "auto",
     enforce_integrity: bool = False,
     waive: tuple = (),
+    shards: int = 2,
 ) -> Figure6Result:
     """Run each application on each system; normalize to native.
 
@@ -196,5 +197,6 @@ def run_figure6(
     payloads = run_cells(
         cells, jobs=jobs, cache=cache, backend=backend,
         integrity="enforce" if enforce_integrity else "ignore", waive=waive,
+        shards=shards,
     )
     return merge_figure6(cells, payloads)

@@ -191,6 +191,7 @@ def run_table2(
     backend: str = "auto",
     enforce_integrity: bool = False,
     waive: tuple = (),
+    shards: int = 2,
 ) -> Table2Result:
     """Run the five applications under both monitoring configurations.
 
@@ -209,5 +210,6 @@ def run_table2(
     payloads = run_cells(
         cells, jobs=jobs, cache=cache, backend=backend,
         integrity="enforce" if enforce_integrity else "ignore", waive=waive,
+        shards=shards,
     )
     return merge_table2(cells, payloads, scale)

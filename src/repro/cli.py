@@ -27,10 +27,16 @@ Commands:
   warm-start boot snapshots.
 * ``serve`` — run the experiment service daemon: a unix-socket job
   queue dispatching onto warm fork-server pools shared across clients
-  (repro.service; see DESIGN.md §5g).
+  (repro.service; see DESIGN.md §5g).  ``--tcp host:port`` additionally
+  exposes the daemon as a remote fabric shard; ``--shard-id`` names it.
 * ``reproctl`` — client for a running daemon: ``submit`` a
   table1/figure6/table2 batch and stream its cells, ``status``,
-  ``result``, ``cancel``, ``stats``, ``tail-metrics``, ``shutdown``.
+  ``result``, ``cancel``, ``stats`` (``--json`` for the machine-readable
+  snapshot with per-client breakdown), ``tail-metrics``, ``shutdown``.
+* ``fabric`` — manage a local shard fabric for ``--backend fabric``:
+  ``start`` spawns N daemons and records their endpoints, ``status``
+  handshakes each shard and prints its stats, ``stop`` drains them
+  (repro.service.fabric; see DESIGN.md §5h).
 """
 
 from __future__ import annotations
@@ -85,12 +91,20 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
                         "post-boot snapshot instead of booting it "
                         "(bit-identical results, boot cost paid once)")
     parser.add_argument("--backend", default="auto",
-                        choices=["auto", "forkserver", "pool", "serial"],
-                        help="cell execution backend: forkserver (warm "
-                        "servers fork copy-on-write workers), pool "
-                        "(process pool), serial, or auto (forkserver "
-                        "when available and --jobs > 1; overridable "
-                        "via REPRO_BENCH_BACKEND)")
+                        choices=["auto", "fabric", "forkserver", "pool",
+                                 "serial"],
+                        help="cell execution backend: fabric (shard "
+                        "coordinator over N repro daemons — attaches to "
+                        "REPRO_FABRIC_ENDPOINTS or a 'repro fabric "
+                        "start' fabric, else spawns transient local "
+                        "shards), forkserver (warm servers fork "
+                        "copy-on-write workers), pool (process pool), "
+                        "serial, or auto (forkserver when available and "
+                        "--jobs > 1; overridable via "
+                        "REPRO_BENCH_BACKEND)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard daemons for --backend fabric "
+                        "(default 2; ignored by other backends)")
     parser.add_argument("--enforce-integrity", action="store_true",
                         help="fail the run if the monitoring pipeline "
                         "lost events in any cell (FIFO overrun, ring "
@@ -108,6 +122,7 @@ def _runner_kwargs(args):
     cache = None if args.no_cache else CellCache(default_cache_dir())
     return {"jobs": args.jobs, "cache": cache,
             "warm_start": args.warm_start, "backend": args.backend,
+            "shards": args.shards,
             "enforce_integrity": args.enforce_integrity,
             "waive": tuple(args.waive)}
 
@@ -534,6 +549,8 @@ def cmd_serve(args) -> int:
         backend=args.backend,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
+        tcp=args.tcp,
+        shard_id=args.shard_id or None,
     )
     try:
         daemon = ReproDaemon(config)
@@ -541,9 +558,14 @@ def cmd_serve(args) -> int:
         print(f"error: {exc}")
         return 2
     path = config.resolved_socket_path()
+    extras = ""
+    if args.tcp:
+        extras += f", tcp={args.tcp}"
+    if config.shard_id:
+        extras += f", shard={config.shard_id}"
     print(f"repro serve: listening on {path} "
           f"(backend={daemon.backend}, jobs={config.jobs}, "
-          f"quota={config.quota})")
+          f"quota={config.quota}{extras})")
     try:
         daemon.serve()
     except ServiceError as exc:
@@ -563,16 +585,26 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quota", type=int, default=8,
                         help="max unfinished jobs per client (default 8)")
     parser.add_argument("--backend", default="auto",
-                        choices=["auto", "forkserver", "pool", "serial"],
+                        choices=["auto", "fabric", "forkserver", "pool",
+                                 "serial"],
                         help="cell execution backend; auto keeps a warm "
                         "fork-server pool when the platform supports it "
-                        "(overridable via REPRO_BENCH_BACKEND)")
+                        "(overridable via REPRO_BENCH_BACKEND; fabric "
+                        "maps to the warm pool — a daemon IS a shard)")
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute every cell, bypassing the shared "
                         "content-addressed result cache")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="result cache directory (default "
                         "REPRO_CACHE_DIR or benchmarks/.cache)")
+    parser.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                        help="additionally listen on TCP as a remote "
+                        "fabric shard (':0' = loopback, ephemeral port). "
+                        "No authentication: bind loopback or a trusted "
+                        "network only")
+    parser.add_argument("--shard-id", default="", metavar="NAME",
+                        help="fabric shard identity reported in the "
+                        "hello handshake and stats")
 
 
 #: reproctl experiment name -> cell builder + result merger.  Kept as
@@ -685,7 +717,15 @@ def cmd_reproctl(args) -> int:
             return 0
         if args.action == "stats":
             with client:
-                print(ServiceStats.from_dict(client.stats()).format())
+                stats = client.stats()
+            if args.json:
+                # Machine-readable snapshot: counters/gauges plus the
+                # per-client breakdown and the daemon's shard identity.
+                print(json.dumps(stats, indent=2, sort_keys=True))
+            else:
+                print(ServiceStats.from_dict(stats).format())
+                if stats.get("shard"):
+                    print(f"  shard   {stats['shard']}")
             return 0
         if args.action == "shutdown":
             with client:
@@ -746,8 +786,147 @@ def _add_reproctl_args(parser: argparse.ArgumentParser) -> None:
     tail.add_argument("--json", action="store_true",
                       help="one JSON object per snapshot instead of the "
                       "formatted board")
-    actions.add_parser("stats", help="print one daemon stats snapshot")
+    stats = actions.add_parser(
+        "stats", help="print one daemon stats snapshot")
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable JSON (counters, gauges, "
+                       "per-client breakdown, shard identity) instead "
+                       "of the formatted board")
     actions.add_parser("shutdown", help="ask the daemon to drain and exit")
+
+
+def cmd_fabric(args) -> int:
+    from repro.obs.service import ServiceStats
+    from repro.service import fabric
+    from repro.service.client import ReproServiceClient, ServiceError
+
+    if args.action == "start":
+        if fabric.read_state():
+            print(f"error: a fabric is already recorded in "
+                  f"{fabric.default_state_path()}; run 'python -m repro "
+                  f"fabric stop' first")
+            return 1
+        coordinator = fabric.FabricCoordinator(fabric.FabricConfig(
+            shards=args.shards,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+            socket_dir=args.socket_dir,
+        ))
+        try:
+            coordinator.start()
+        except ServiceError as exc:
+            print(f"error: {exc}")
+            return 1
+        rows = coordinator.describe()
+        document = {
+            "version": fabric.STATE_VERSION,
+            "workdir": coordinator._workdir,
+            "shards": [
+                {"name": row["name"], "endpoint": row["endpoint"],
+                 "pid": row["pid"]}
+                for row in rows if row["alive"]
+            ],
+        }
+        path = fabric.write_state(document)
+        for row in rows:
+            marker = "up" if row["alive"] else "FAILED"
+            pid = f" (pid {row['pid']})" if row["pid"] else ""
+            print(f"  {row['name']:8s} {marker:6s} {row['endpoint']}{pid}")
+        print(f"fabric of {len(document['shards'])} shard(s) recorded in "
+              f"{path}; run experiments with --backend fabric, stop with "
+              f"'python -m repro fabric stop'")
+        return 0
+
+    if args.action == "stop":
+        state = fabric.read_state()
+        if not state:
+            print("no fabric is running (no state file)")
+            return 1
+        for shard in state["shards"]:
+            endpoint = shard["endpoint"]
+            try:
+                with ReproServiceClient(socket_path=endpoint, timeout=10,
+                                        client="fabric-stop",
+                                        connect_retry=0.5) as client:
+                    client.shutdown()
+                print(f"  {shard['name']:8s} draining ({endpoint})")
+            except ServiceError as exc:
+                print(f"  {shard['name']:8s} unreachable ({exc})")
+        fabric.clear_state()
+        print("fabric state cleared")
+        return 0
+
+    if args.action == "status":
+        endpoints = fabric.resolve_endpoints()
+        if not endpoints:
+            print("no fabric is running (no REPRO_FABRIC_ENDPOINTS and "
+                  "no state file)")
+            return 1
+        rows = []
+        for index, endpoint in enumerate(endpoints):
+            name = f"shard{index}"
+            try:
+                with ReproServiceClient(socket_path=endpoint, timeout=10,
+                                        client="fabric-status",
+                                        connect_retry=0.5) as client:
+                    hello = client.hello()
+                    stats = client.stats()
+                rows.append({"name": hello.get("shard") or name,
+                             "endpoint": endpoint, "alive": True,
+                             "backend": hello.get("backend"),
+                             "jobs": hello.get("jobs"),
+                             "protocol": hello.get("protocol"),
+                             "stats": stats})
+            except ServiceError as exc:
+                rows.append({"name": name, "endpoint": endpoint,
+                             "alive": False, "error": str(exc)})
+        all_up = all(row["alive"] for row in rows)
+        if args.json:
+            print(json.dumps({"shards": rows}, indent=2, sort_keys=True))
+            return 0 if all_up else 1
+        for row in rows:
+            if row["alive"]:
+                print(f"{row['name']:8s} up     {row['endpoint']} "
+                      f"(backend={row['backend']}, jobs={row['jobs']})")
+                board = ServiceStats.from_dict(row["stats"]).format()
+                print("  " + board.replace("\n", "\n  "))
+            else:
+                print(f"{row['name']:8s} DOWN   {row['endpoint']} "
+                      f"({row['error']})")
+        return 0 if all_up else 1
+    raise AssertionError(f"unhandled fabric action {args.action!r}")
+
+
+def _add_fabric_args(parser: argparse.ArgumentParser) -> None:
+    actions = parser.add_subparsers(dest="action", required=True)
+    start = actions.add_parser(
+        "start", help="spawn N local shard daemons and record their "
+        "endpoints so --backend fabric reuses them (warm pools persist "
+        "across runs)")
+    start.add_argument("--shards", type=int, default=2,
+                       help="daemons to spawn (default 2)")
+    start.add_argument("--jobs", type=int, default=2,
+                       help="concurrent cells per shard dispatch chunk "
+                       "(default 2)")
+    start.add_argument("--socket-dir", default=None, metavar="DIR",
+                       help="where shard sockets and logs live (default "
+                       "a private temp dir)")
+    start.add_argument("--no-cache", action="store_true",
+                       help="shards recompute every cell, bypassing the "
+                       "shared content-addressed result cache")
+    start.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shard result-cache directory (default "
+                       "REPRO_CACHE_DIR or benchmarks/.cache)")
+    actions.add_parser(
+        "stop", help="drain every recorded shard and clear the state "
+        "file")
+    status = actions.add_parser(
+        "status", help="handshake every shard (REPRO_FABRIC_ENDPOINTS "
+        "or the state file) and print its stats")
+    status.add_argument("--json", action="store_true",
+                        help="machine-readable JSON with each shard's "
+                        "liveness, identity and stats snapshot")
 
 
 #: command name -> (handler, extra-argument installers).
@@ -765,6 +944,7 @@ _COMMANDS = {
     "cache": (cmd_cache, [_add_cache_args]),
     "serve": (cmd_serve, [_add_serve_args]),
     "reproctl": (cmd_reproctl, [_add_reproctl_args]),
+    "fabric": (cmd_fabric, [_add_fabric_args]),
 }
 
 

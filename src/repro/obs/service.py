@@ -16,6 +16,13 @@ live gauge board for the service:
   connected clients, warm servers);
 * **clients** — the same counters resolved per client name, which is
   what makes quota and fairness questions answerable.
+
+:class:`FabricStats` is the coordinator-level sibling for the shard
+fabric (:mod:`repro.service.fabric`): the same fixed-schema counters
+and gauges, resolved **per shard** — how many cells each shard was
+routed, completed, stole from its neighbours, or had requeued off it
+when it died.  ``repro fabric status --json`` serves these alongside
+each shard's own :class:`ServiceStats`.
 """
 
 from __future__ import annotations
@@ -111,4 +118,86 @@ class ServiceStats:
                 f"{key}={value}" for key, value in sorted(counters.items())
             )
             lines.append(f"  client  {client:26s} {summary}")
+        return "\n".join(lines)
+
+
+#: Coordinator counter names (fixed schema, like SERVICE_COUNTERS).
+FABRIC_COUNTERS = (
+    "batches",
+    "cells_routed",
+    "cells_completed",
+    "cells_stolen",
+    "cells_requeued",
+    "cells_split",
+    "cells_local_fallback",
+    "jobs_dispatched",
+    "shard_failures",
+    "cancelled_batches",
+)
+
+
+@dataclass
+class FabricStats:
+    """Shard-fabric coordinator counters, in total and per shard."""
+
+    counters: Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in FABRIC_COUNTERS}
+    )
+    gauges: Dict[str, float] = field(default_factory=dict)
+    shards: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def add(self, counter: str, value: int = 1,
+            shard: str | None = None) -> None:
+        """Bump a named counter (and its per-shard twin, if given)."""
+        if counter not in self.counters:
+            raise KeyError(f"unknown fabric counter {counter!r}")
+        self.counters[counter] += value
+        if shard is not None:
+            per_shard = self.shards.setdefault(shard, {})
+            per_shard[counter] = per_shard.get(counter, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe, deterministically ordered snapshot."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "shards": {
+                name: dict(sorted(counters.items()))
+                for name, counters in sorted(self.shards.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FabricStats":
+        stats = cls()
+        for name, value in data.get("counters", {}).items():
+            if name in stats.counters:
+                stats.counters[name] = int(value)
+        stats.gauges = {
+            str(k): float(v) for k, v in data.get("gauges", {}).items()
+        }
+        stats.shards = {
+            str(name): {str(k): int(v) for k, v in counters.items()}
+            for name, counters in data.get("shards", {}).items()
+        }
+        return stats
+
+    def format(self) -> str:
+        """Human-readable board (``repro fabric status`` body)."""
+        lines = ["fabric metrics:"]
+        for name, value in sorted(self.gauges.items()):
+            rendered = (f"{value:.3f}" if value != int(value)
+                        else f"{int(value)}")
+            lines.append(f"  gauge   {name:26s} {rendered}")
+        for name, value in sorted(self.counters.items()):
+            if value:
+                lines.append(f"  counter {name:26s} {value}")
+        for shard, counters in sorted(self.shards.items()):
+            summary = ", ".join(
+                f"{key}={value}" for key, value in sorted(counters.items())
+            )
+            lines.append(f"  shard   {shard:26s} {summary}")
         return "\n".join(lines)

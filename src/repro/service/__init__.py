@@ -18,20 +18,36 @@ ForkServerPool` shared across every client, graceful SIGTERM drain.
 * :mod:`repro.service.client` — :class:`ReproServiceClient` and the
   ``reproctl`` command bodies (submit / status / result / cancel /
   tail-metrics / shutdown).
+* :mod:`repro.service.fabric` — :class:`FabricCoordinator`: fans one
+  ``run_cells`` batch across several daemons (local spawns and/or
+  remote ``tcp://`` shards) with cache-affinity routing, adaptive cell
+  splitting, work stealing, and dead-shard requeue (DESIGN.md §5h).
 
 Contract: results fetched through the daemon are byte-identical to the
-same cells run via ``run_cells`` serially (DESIGN.md §5g).
+same cells run via ``run_cells`` serially (DESIGN.md §5g) — and the
+fabric inherits it shard by shard.
 """
 
 from repro.service.client import ReproServiceClient, ServiceError
 from repro.service.daemon import DaemonConfig, ReproDaemon
-from repro.service.protocol import default_socket_path
+from repro.service.fabric import (
+    FabricConfig,
+    FabricCoordinator,
+    FabricError,
+    FabricUnavailable,
+)
+from repro.service.protocol import PROTOCOL_VERSION, default_socket_path
 from repro.service.queue import Job, JobQueue, QuotaExceeded
 
 __all__ = [
     "DaemonConfig",
+    "FabricConfig",
+    "FabricCoordinator",
+    "FabricError",
+    "FabricUnavailable",
     "Job",
     "JobQueue",
+    "PROTOCOL_VERSION",
     "QuotaExceeded",
     "ReproDaemon",
     "ReproServiceClient",

@@ -21,29 +21,45 @@ import socket
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.service.protocol import (
+    PROTOCOL_VERSION,
     FrameDecoder,
     ServiceError,
     cell_to_wire,
+    check_hello_reply,
+    connect_endpoint,
     default_socket_path,
+    hello_message,
     register_service_fd,
     send_message,
     unregister_service_fd,
 )
 from repro.tools.runner import Cell
 
+#: How long :meth:`ReproServiceClient.connect` keeps retrying connect
+#: refusals (exponential backoff) before giving up.  A just-spawned
+#: daemon needs a moment to bind its socket; the first submit racing it
+#: should wait that moment out rather than fail.
+DEFAULT_CONNECT_RETRY = 2.0
+
 
 class ReproServiceClient:
-    """One connection to a running experiment-service daemon."""
+    """One connection to a running experiment-service daemon.
+
+    ``socket_path`` accepts a unix-socket path or a ``tcp://host:port``
+    endpoint (remote fabric shards).
+    """
 
     def __init__(
         self,
         socket_path: Optional[str] = None,
         timeout: Optional[float] = 600.0,
         client: Optional[str] = None,
+        connect_retry: float = DEFAULT_CONNECT_RETRY,
     ):
         self.socket_path = socket_path or default_socket_path()
         self.timeout = timeout
         self.client = client
+        self.connect_retry = connect_retry
         self._sock: Optional[socket.socket] = None
         self._decoder = FrameDecoder()
         #: frames received but not yet consumed, in arrival order
@@ -57,16 +73,8 @@ class ReproServiceClient:
     def connect(self) -> "ReproServiceClient":
         if self._sock is not None:
             return self
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(self.timeout)
-        try:
-            sock.connect(self.socket_path)
-        except OSError as exc:
-            sock.close()
-            raise ServiceError(
-                f"cannot reach a repro serve daemon at {self.socket_path} "
-                f"({exc}); start one with 'python -m repro serve'"
-            ) from exc
+        sock = connect_endpoint(self.socket_path, timeout=self.timeout,
+                                retry_window=self.connect_retry)
         # An in-process daemon (tests, embedders) forks pool workers
         # while this fd is open; an inherited copy would mask EOF on
         # disconnect, so every fork closes it (see repro.service.protocol).
@@ -137,6 +145,25 @@ class ReproServiceClient:
     # ------------------------------------------------------------------
     # Ops
     # ------------------------------------------------------------------
+    def hello(self) -> Dict[str, Any]:
+        """Version handshake; raises on a protocol mismatch.
+
+        Returns the daemon's identity reply (``protocol``, ``backend``,
+        ``jobs``, ``shard``) — the fabric uses it to confirm a shard is
+        alive and compatible before routing cells at it.
+        """
+        try:
+            reply = self._request(hello_message(self.client))
+        except ServiceError as exc:
+            if "protocol-version" in str(exc):
+                raise ServiceError(
+                    f"daemon at {self.socket_path} refused the handshake: "
+                    f"{exc} (client protocol {PROTOCOL_VERSION})"
+                ) from exc
+            raise
+        check_hello_reply(reply, self.socket_path)
+        return reply
+
     def submit(
         self,
         cells: List[Cell],

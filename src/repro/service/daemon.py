@@ -90,7 +90,10 @@ def resolve_daemon_backend(backend: str = "auto") -> str:
         choice = validate_backend(forced, source="REPRO_BENCH_BACKEND")
     else:
         choice = validate_backend(backend)
-    if choice in ("auto", "forkserver"):
+    # ``fabric`` maps to the pool path too: a daemon *is* a fabric
+    # shard, and recursing into the fabric coordinator from inside a
+    # shard would spawn daemons forever.
+    if choice in ("auto", "forkserver", "fabric"):
         return "forkserver" if forkserver.fork_available() else "serial"
     return "serial"
 
@@ -106,6 +109,13 @@ class DaemonConfig:
     cache_dir: Optional[str] = None
     no_cache: bool = False
     timeout: Optional[float] = _runner.DEFAULT_TIMEOUT
+    #: additionally listen on ``host:port`` (``":0"`` = loopback,
+    #: ephemeral port; the bound endpoint lands in
+    #: :attr:`ReproDaemon.tcp_endpoint`).  TCP carries no auth — bind
+    #: loopback or a trusted network only.
+    tcp: Optional[str] = None
+    #: fabric shard identity, surfaced in ``hello`` and ``stats``.
+    shard_id: Optional[str] = None
 
     def resolved_socket_path(self) -> str:
         return self.socket_path or protocol.default_socket_path()
@@ -155,6 +165,10 @@ class ReproDaemon:
         self._drain_requested = False
         self._dispatcher: Optional[threading.Thread] = None
         self._started = time.monotonic()
+        #: ``tcp://host:port`` actually bound (set by :meth:`serve` when
+        #: the config asks for TCP; with port 0 this is where the
+        #: ephemeral port becomes known).
+        self.tcp_endpoint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -193,10 +207,52 @@ class ReproDaemon:
         register_service_fd(sock.fileno())
         return sock
 
+    def _bind_tcp(self, spec: str) -> socket.socket:
+        """Bind the optional TCP listener (``host:port``; port 0 = any)."""
+        host, sep, port_text = spec.rpartition(":")
+        if not sep:
+            host, port_text = "", spec
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ServiceError(
+                f"bad TCP listen spec {spec!r}: expected host:port"
+            ) from None
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((host, port))
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot listen on tcp {host}:{port}: {exc}"
+            ) from exc
+        sock.listen(16)
+        sock.setblocking(False)
+        register_service_fd(sock.fileno())
+        bound_host, bound_port = sock.getsockname()[:2]
+        self.tcp_endpoint = protocol.format_tcp_endpoint(
+            bound_host, bound_port
+        )
+        return sock
+
     def serve(self, ready: Optional[threading.Event] = None) -> None:
         """Run until drained (SIGTERM, SIGINT or the ``shutdown`` op)."""
         path = self.config.resolved_socket_path()
         listener = self._bind(path)
+        tcp_listener: Optional[socket.socket] = None
+        if self.config.tcp is not None:
+            try:
+                tcp_listener = self._bind_tcp(self.config.tcp)
+            except ServiceError:
+                unregister_service_fd(listener.fileno())
+                listener.close()
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                raise
         try:  # signal handlers only install from the main thread
             signal.signal(signal.SIGTERM, self._on_signal)
             signal.signal(signal.SIGINT, self._on_signal)
@@ -209,6 +265,8 @@ class ReproDaemon:
         self._dispatcher.start()
         selector = selectors.DefaultSelector()
         selector.register(listener, selectors.EVENT_READ, "listen")
+        if tcp_listener is not None:
+            selector.register(tcp_listener, selectors.EVENT_READ, "listen")
         selector.register(self._wake_r, selectors.EVENT_READ, "wake")
         if ready is not None:
             ready.set()
@@ -217,7 +275,7 @@ class ReproDaemon:
                 timeout = self._loop_timeout()
                 for key, _ in selector.select(timeout):
                     if key.data == "listen":
-                        self._accept(listener, selector)
+                        self._accept(key.fileobj, selector)
                     elif key.data == "wake":
                         try:
                             os.read(self._wake_r, 4096)
@@ -241,6 +299,9 @@ class ReproDaemon:
             selector.close()
             unregister_service_fd(listener.fileno())
             listener.close()
+            if tcp_listener is not None:
+                unregister_service_fd(tcp_listener.fileno())
+                tcp_listener.close()
             try:
                 os.unlink(path)
             except OSError:
@@ -337,7 +398,9 @@ class ReproDaemon:
     def _handle_request(self, conn: _Connection, message: Dict[str, Any],
                         selector) -> None:
         op = message.get("op")
-        if op == "submit":
+        if op == "hello":
+            self._send(conn, self._op_hello(conn, message), selector)
+        elif op == "submit":
             self._send(conn, self._op_submit(conn, message), selector)
         elif op == "status":
             self._send(conn, self._op_status(message), selector)
@@ -367,6 +430,31 @@ class ReproDaemon:
     # ------------------------------------------------------------------
     # Ops
     # ------------------------------------------------------------------
+    def _op_hello(self, conn: _Connection,
+                  message: Dict[str, Any]) -> Dict[str, Any]:
+        """Handshake: refuse a protocol-version mismatch up front.
+
+        A version-2 client that skipped ``hello`` still works (the ops
+        are compatible within a version) — the handshake exists so the
+        fabric can detect a stale shard *before* routing cells at it.
+        """
+        peer = message.get("protocol")
+        if peer != protocol.PROTOCOL_VERSION:
+            return error_reply(
+                "protocol-version",
+                f"daemon speaks protocol {protocol.PROTOCOL_VERSION}, "
+                f"client announced {peer!r}; upgrade the older side",
+            )
+        if message.get("client"):
+            conn.client = str(message["client"])
+        return {
+            "ok": True,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "backend": self.backend,
+            "jobs": self.config.jobs,
+            "shard": self.config.shard_id,
+        }
+
     def _op_submit(self, conn: _Connection,
                    message: Dict[str, Any]) -> Dict[str, Any]:
         if self._draining or self._drain_requested:
@@ -528,7 +616,11 @@ class ReproDaemon:
                 "uptime_seconds",
                 round(time.monotonic() - self._started, 3),
             )
-            return self.stats.to_dict()
+            snapshot = self.stats.to_dict()
+        # Shard identity rides outside the counters/gauges schema so
+        # ServiceStats.from_dict round-trips cleanly without it.
+        snapshot["shard"] = self.config.shard_id
+        return snapshot
 
     # ------------------------------------------------------------------
     # Dispatcher thread

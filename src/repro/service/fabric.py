@@ -1,0 +1,739 @@
+"""Shard fabric: fan ``run_cells`` batches across N repro daemons.
+
+One ``repro serve`` daemon owns one warm fork-server pool; the fabric
+(DESIGN.md §5h) is the scale-out layer above it — a coordinator that
+routes an experiment batch across several daemons ("shards"), local
+unix-socket daemons spawned on demand or remote daemons reached over
+``tcp://host:port`` endpoints, and merges the streamed results back in
+cell order.
+
+The moving parts:
+
+**Cache-affinity routing.**  A cell's preferred shard is a stable hash
+of its environment key (the same kind/environment/platform-config/
+snapshot tuple the fork server groups warm servers by), so every cell
+for one environment lands on the same shard and its warm pool and
+content-addressed cache stay hot.  Routing is over the *live* shard
+list, so a dead shard's traffic redistributes deterministically.
+
+**Adaptive cell splitting.**  When a batch has fewer cells than the
+fabric has execution slots, splittable cells (Table 1's op lists) are
+divided into subcells before dispatch.  The ops run against one live
+machine whose state evolves op by op, so each subcell re-executes the
+ops before its slice *unrecorded* (``context_ops``) — the measured
+slice sees the exact machine-state sequence of the unsplit run, and
+the ``merge_*`` helpers reassemble a table byte-identical to it.
+Per-subcell ``accesses``/``sim_cycles`` include that context — the
+serial-equivalence contract is against the same (split) cell list,
+never a re-derivation of the unsplit payloads.
+
+**Latency-aware work stealing.**  A worker whose queue drains steals
+from the shard with the largest *estimated remaining latency*
+(backlog × observed seconds-per-cell), taking from the cold tail so the
+victim keeps its cache-warm front.
+
+**Failure handling.**  A connection error or EOF marks the shard dead:
+its unfinished cells — in-flight cells are pure, so re-running them
+from scratch is safe — are requeued onto the surviving shards, and the
+batch degrades shard by shard down to a single daemon; if every shard
+dies, the leftovers run through the in-process serial runner.  A
+*job*-level failure (a cell that raises, an integrity violation) is not
+a shard death and fails the batch loudly instead of being retried
+elsewhere.
+
+Integrity is enforced twice: each shard verifies every payload before
+streaming it (daemon semantics), and the coordinator re-verifies the
+assembled batch — so no payload dodges enforcement by arriving from a
+particular shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import verify_payload_integrity
+from repro.obs.service import FabricStats
+from repro.service.client import ReproServiceClient
+from repro.service.protocol import ServiceError
+from repro.tools import runner as _runner
+from repro.tools.runner import Cell
+
+#: Default shard count for spawned local fabrics.
+DEFAULT_SHARDS = 2
+
+#: ``repro fabric`` state-file schema version.
+STATE_VERSION = 1
+
+
+class FabricUnavailable(ServiceError):
+    """No shard could be spawned or reached; callers should degrade."""
+
+
+class FabricError(ServiceError):
+    """A batch failed for a non-shard-death reason (bad cell, integrity)."""
+
+
+class FabricCancelled(ServiceError):
+    """The batch was cancelled through :meth:`FabricCoordinator.cancel`."""
+
+
+# ----------------------------------------------------------------------
+# Configuration and state file
+# ----------------------------------------------------------------------
+@dataclass
+class FabricConfig:
+    """Everything a fabric run can configure."""
+
+    shards: int = DEFAULT_SHARDS
+    #: dispatch-chunk size per shard (forwarded to spawned daemons as
+    #: ``--jobs``; also the per-request batch size, so cancellation and
+    #: stealing act at chunk boundaries).
+    jobs: int = 2
+    #: attach to these endpoints (unix paths or ``tcp://host:port``)
+    #: instead of spawning local daemons.
+    endpoints: Optional[List[str]] = None
+    cache_dir: Optional[str] = None
+    no_cache: bool = False
+    timeout: Optional[float] = _runner.DEFAULT_TIMEOUT
+    #: where spawned shards put sockets and logs (default: a private
+    #: temp dir).
+    socket_dir: Optional[str] = None
+    #: connect-retry window for *attached* endpoints.
+    connect_retry: float = 2.0
+    #: how long a spawned daemon gets to bind and answer ``hello``.
+    spawn_wait: float = 30.0
+
+
+def default_state_path() -> str:
+    """``REPRO_FABRIC_STATE`` or a per-user path under the tmp dir."""
+    configured = os.environ.get("REPRO_FABRIC_STATE")
+    if configured:
+        return configured
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-fabric-{uid}.json")
+
+
+def read_state(path: Optional[str] = None) -> Optional[Dict[str, Any]]:
+    """The ``repro fabric start`` ledger, or None if absent/corrupt."""
+    target = path or default_state_path()
+    try:
+        with open(target, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return None
+    if (document.get("version") != STATE_VERSION
+            or not isinstance(document.get("shards"), list)):
+        return None
+    return document
+
+
+def write_state(document: Dict[str, Any],
+                path: Optional[str] = None) -> str:
+    target = path or default_state_path()
+    tmp = target + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp, target)
+    return target
+
+
+def clear_state(path: Optional[str] = None) -> None:
+    try:
+        os.unlink(path or default_state_path())
+    except OSError:
+        pass
+
+
+def resolve_endpoints() -> Optional[List[str]]:
+    """Endpoints a transient fabric should attach to, if any.
+
+    ``REPRO_FABRIC_ENDPOINTS`` (comma-separated) wins; otherwise a
+    running ``repro fabric start`` ledger is reused — so
+    ``run_cells(backend="fabric")`` rides an already-warm fabric instead
+    of spawning a throwaway one.
+    """
+    raw = os.environ.get("REPRO_FABRIC_ENDPOINTS")
+    if raw:
+        endpoints = [item.strip() for item in raw.split(",") if item.strip()]
+        return endpoints or None
+    state = read_state()
+    if state:
+        endpoints = [str(shard["endpoint"]) for shard in state["shards"]
+                     if shard.get("endpoint")]
+        return endpoints or None
+    return None
+
+
+# ----------------------------------------------------------------------
+# Affinity routing and adaptive splitting
+# ----------------------------------------------------------------------
+def affinity_key(cell: Cell) -> str:
+    """Stable digest of the cell's environment (warm-pool grouping)."""
+    from repro.tools import forkserver
+
+    key = forkserver.environment_key(cell)
+    blob = json.dumps(list(key), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def route_shard(cell: Cell, shard_names: List[str]) -> str:
+    """The cell's preferred shard among ``shard_names`` (stable hash)."""
+    if not shard_names:
+        raise FabricUnavailable("no live shards to route onto")
+    digest = int(affinity_key(cell)[:16], 16)
+    return shard_names[digest % len(shard_names)]
+
+
+#: cell kind -> spec key holding a list of sequential work items that
+#: subcells can partition.  Table 1's ops run against one live machine
+#: whose state evolves op by op, so each subcell carries the items
+#: before its slice as ``context_<key>`` — the worker re-executes them
+#: unrecorded, reproducing the exact machine-state sequence, which is
+#: what makes the merged table byte-identical to the unsplit run.
+#: figure6/table2 derive their app lists from ``scale`` inside the
+#: worker, so they have no wire-expressible subset and stay unsplit.
+SPLITTABLE_KINDS: Dict[str, str] = {"table1": "ops"}
+
+
+def split_cell(cell: Cell, pieces: int) -> List[Cell]:
+    """Partition one cell into up to ``pieces`` contiguous subcells.
+
+    Unsplittable cells (wrong kind, or fewer than two items) come back
+    as ``[cell]``.  Subcell order preserves item order, and each
+    subcell's ``context_<key>`` carries the items before its slice for
+    unrecorded re-execution, so merging the subcell payloads reproduces
+    the unsplit rows exactly.
+    """
+    key = SPLITTABLE_KINDS.get(cell.kind)
+    items = cell.spec.get(key) if key else None
+    if not isinstance(items, list) or len(items) < 2 or pieces < 2:
+        return [cell]
+    pieces = min(pieces, len(items))
+    subcells: List[Cell] = []
+    base, extra = divmod(len(items), pieces)
+    position = 0
+    for piece in range(pieces):
+        count = base + (1 if piece < extra else 0)
+        subset = items[position:position + count]
+        spec = dict(cell.spec)
+        spec[key] = list(subset)
+        spec[f"context_{key}"] = list(items[:position])
+        position += count
+        subcells.append(Cell(
+            kind=cell.kind,
+            environment=cell.environment,
+            workload=f"{cell.workload}[{piece + 1}/{pieces}]",
+            spec=spec,
+            platform_config=cell.platform_config,
+            cacheable=cell.cacheable,
+            snapshot_path=cell.snapshot_path,
+        ))
+    return subcells
+
+
+def adaptive_split(cells: List[Cell], target: int,
+                   stats: Optional[FabricStats] = None) -> List[Cell]:
+    """Split splittable cells until the batch has ~``target`` units.
+
+    With enough cells already, the batch is returned untouched — the
+    split exists for load balance, not for its own sake.
+    """
+    if target <= len(cells):
+        return list(cells)
+    per_cell = -(-target // max(1, len(cells)))  # ceil
+    out: List[Cell] = []
+    for cell in cells:
+        subcells = split_cell(cell, per_cell)
+        if len(subcells) > 1 and stats is not None:
+            stats.add("cells_split", len(subcells))
+        out.extend(subcells)
+    return out
+
+
+def maybe_split_for_fabric(cells: List[Cell], backend: str,
+                           shards: int, jobs: int) -> List[Cell]:
+    """Entry-point hook: split a batch headed for the fabric.
+
+    ``run_table1``-style callers pass their cell list through here;
+    non-fabric backends get it back untouched.  The target unit count
+    is the fabric's total slot count (shards × per-shard jobs), so a
+    3-cell Table 1 grid becomes enough subcells to keep every slot
+    busy.  The ``merge_*`` helpers reassemble subcell payloads into a
+    table byte-identical to the unsplit run (each subcell re-executes
+    its preceding ops unrecorded, preserving the state sequence).
+    """
+    effective = os.environ.get("REPRO_BENCH_BACKEND") or backend
+    if str(effective).strip().lower() != "fabric":
+        return list(cells)
+    target = max(1, shards) * max(1, jobs)
+    return adaptive_split(cells, target)
+
+
+# ----------------------------------------------------------------------
+# Shard handles and process spawning
+# ----------------------------------------------------------------------
+class _Shard:
+    """Coordinator-side state for one daemon."""
+
+    def __init__(self, name: str, endpoint: str,
+                 process: Optional[subprocess.Popen] = None):
+        self.name = name
+        self.endpoint = endpoint
+        self.process = process
+        self.dead = False
+        self.hello: Dict[str, Any] = {}
+        #: routed cell indices awaiting dispatch (left = warm front).
+        self.queue: Deque[int] = deque()
+        #: streamed job currently in flight (for cancel propagation).
+        self.current_job: Optional[str] = None
+        #: observed dispatch history, for latency-aware stealing.
+        self.busy_seconds = 0.0
+        self.dispatched_cells = 0
+
+    def seconds_per_cell(self) -> float:
+        if self.dispatched_cells <= 0:
+            return 1.0
+        return self.busy_seconds / self.dispatched_cells
+
+    def estimated_backlog_seconds(self) -> float:
+        return len(self.queue) * self.seconds_per_cell()
+
+
+def _package_root() -> str:
+    """The ``src`` directory spawned shards need on ``PYTHONPATH``."""
+    here = os.path.abspath(__file__)          # .../src/repro/service/fabric.py
+    return os.path.dirname(os.path.dirname(os.path.dirname(here)))
+
+
+def _spawn_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (_package_root()
+                         + (os.pathsep + existing if existing else ""))
+    return env
+
+
+def shard_command(socket_path: str, shard_id: str, jobs: int,
+                  cache_dir: Optional[str] = None, no_cache: bool = False,
+                  tcp: Optional[str] = None) -> List[str]:
+    """The ``repro serve`` argv for one local shard daemon."""
+    command = [sys.executable, "-m", "repro", "serve",
+               "--socket", socket_path, "--jobs", str(jobs),
+               "--shard-id", shard_id]
+    if cache_dir:
+        command += ["--cache-dir", cache_dir]
+    if no_cache:
+        command.append("--no-cache")
+    if tcp:
+        command += ["--tcp", tcp]
+    return command
+
+
+def spawn_shard(name: str, socket_path: str, jobs: int,
+                log_path: str, cache_dir: Optional[str] = None,
+                no_cache: bool = False) -> _Shard:
+    """Start one local daemon subprocess (not yet handshaken)."""
+    command = shard_command(socket_path, name, jobs,
+                            cache_dir=cache_dir, no_cache=no_cache)
+    with open(log_path, "ab") as log:
+        process = subprocess.Popen(command, env=_spawn_env(),
+                                   stdout=log, stderr=subprocess.STDOUT)
+    return _Shard(name, socket_path, process=process)
+
+
+# ----------------------------------------------------------------------
+# The coordinator
+# ----------------------------------------------------------------------
+class FabricCoordinator:
+    """Routes cell batches across shard daemons; owns spawned ones."""
+
+    def __init__(self, config: Optional[FabricConfig] = None):
+        self.config = config or FabricConfig()
+        self.shards: List[_Shard] = []
+        self.stats = FabricStats()
+        self._lock = threading.Lock()
+        self._cancel = threading.Event()
+        self._started = False
+        self._workdir: Optional[str] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "FabricCoordinator":
+        """Spawn or attach the shards; raises :class:`FabricUnavailable`
+        when not even one comes up (degrading to fewer shards than asked
+        is fine and counted as ``shard_failures``)."""
+        if self._started:
+            return self
+        if self.config.endpoints:
+            for index, endpoint in enumerate(self.config.endpoints):
+                self.shards.append(_Shard(f"shard{index}", endpoint))
+            window = self.config.connect_retry
+        else:
+            self._workdir = (self.config.socket_dir
+                             or tempfile.mkdtemp(prefix="repro-fabric-"))
+            os.makedirs(self._workdir, exist_ok=True)
+            for index in range(max(1, self.config.shards)):
+                name = f"shard{index}"
+                socket_path = os.path.join(self._workdir, f"{name}.sock")
+                log_path = os.path.join(self._workdir, f"{name}.log")
+                try:
+                    shard = spawn_shard(
+                        name, socket_path, self.config.jobs, log_path,
+                        cache_dir=self.config.cache_dir,
+                        no_cache=self.config.no_cache,
+                    )
+                except OSError as exc:
+                    shard = _Shard(name, socket_path)
+                    shard.dead = True
+                    shard.hello = {"error": str(exc)}
+                self.shards.append(shard)
+            window = self.config.spawn_wait
+        for shard in self.shards:
+            if shard.dead:
+                self.stats.add("shard_failures", shard=shard.name)
+                continue
+            try:
+                self._handshake(shard, window)
+            except (ServiceError, OSError) as exc:
+                shard.dead = True
+                shard.hello = {"error": str(exc)}
+                self.stats.add("shard_failures", shard=shard.name)
+        live = self.live_shards()
+        if not live:
+            detail = "; ".join(
+                f"{shard.name}: {shard.hello.get('error', 'unreachable')}"
+                for shard in self.shards
+            )
+            self.stop()
+            raise FabricUnavailable(
+                f"no fabric shard came up ({detail or 'none configured'})"
+            )
+        self._started = True
+        self.stats.set_gauge("live_shards", len(live))
+        self.stats.set_gauge("configured_shards", len(self.shards))
+        return self
+
+    def _handshake(self, shard: _Shard, window: float) -> None:
+        client = ReproServiceClient(
+            socket_path=shard.endpoint, timeout=self.config.timeout,
+            client="fabric", connect_retry=window,
+        )
+        try:
+            client.connect()
+            shard.hello = client.hello()
+        finally:
+            client.close()
+
+    def live_shards(self) -> List[_Shard]:
+        return [shard for shard in self.shards if not shard.dead]
+
+    def stop(self) -> None:
+        """Drain spawned shards gracefully; attached ones are left alone."""
+        for shard in self.shards:
+            process = shard.process
+            if process is None:
+                continue
+            if process.poll() is None:
+                try:
+                    with ReproServiceClient(
+                        socket_path=shard.endpoint, timeout=10,
+                        connect_retry=0.0,
+                    ) as client:
+                        client.shutdown()
+                except (ServiceError, OSError):
+                    pass
+                try:
+                    process.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+        self._started = False
+        self.stats.set_gauge("live_shards", len(self.live_shards()))
+
+    def __enter__(self) -> "FabricCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- cancellation --------------------------------------------------
+    def cancel(self) -> None:
+        """Cancel the running batch: propagate to every in-flight shard
+        job over fresh control connections, then fail the batch with
+        :class:`FabricCancelled` (workers stop at chunk boundaries)."""
+        self._cancel.set()
+        for shard in self.live_shards():
+            job_id = shard.current_job
+            if job_id is None:
+                continue
+            try:
+                with ReproServiceClient(
+                    socket_path=shard.endpoint, timeout=10,
+                    client="fabric-cancel", connect_retry=0.5,
+                ) as control:
+                    control.cancel(job_id)
+            except (ServiceError, OSError):
+                pass  # shard already dying; its worker will notice
+
+    # -- batch execution ----------------------------------------------
+    def run_cells(
+        self,
+        cells: List[Cell],
+        integrity: str = "enforce",
+        waive: Tuple[str, ...] = (),
+        label: str = "fabric",
+    ) -> List[Dict[str, Any]]:
+        """Run ``cells`` across the shards; payloads come back in cell
+        order, byte-identical to a serial ``run_cells`` of the same
+        list."""
+        self.start()
+        if self._cancel.is_set():
+            raise FabricCancelled("fabric coordinator is cancelled")
+        results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+        remaining = list(range(len(cells)))
+        self.stats.add("batches")
+        while remaining:
+            live = self.live_shards()
+            if not live:
+                break
+            live_names = {shard.name for shard in live}
+            self._route(cells, remaining, live)
+            errors: List[str] = []
+            workers = [
+                threading.Thread(
+                    target=self._shard_worker,
+                    args=(shard, cells, results, errors, integrity, waive,
+                          label),
+                    name=f"fabric-{shard.name}",
+                    daemon=True,
+                )
+                for shard in live
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            if errors:
+                raise FabricError(errors[0])
+            if self._cancel.is_set():
+                self.stats.add("cancelled_batches")
+                raise FabricCancelled(
+                    f"fabric batch {label!r} cancelled "
+                    f"({len(remaining)} cells unresolved)"
+                )
+            remaining = [index for index in remaining
+                         if results[index] is None]
+            survivors = {shard.name for shard in self.live_shards()}
+            if remaining and survivors == live_names:
+                break  # nothing died yet cells went unserved: don't spin
+        leftover = [index for index, payload in enumerate(results)
+                    if payload is None]
+        for index in leftover:
+            # Terminal degradation: every shard is gone — finish the
+            # batch with the in-process serial runner (pristine path).
+            results[index] = _runner._run_serial(cells[index])
+            self.stats.add("cells_local_fallback")
+        self.stats.set_gauge("live_shards", len(self.live_shards()))
+        if integrity == "enforce":
+            verify_payload_integrity(
+                [cell.label() for cell in cells], results, waive=waive
+            )
+        return results  # type: ignore[return-value]
+
+    def _route(self, cells: List[Cell], indices: List[int],
+               live: List[_Shard]) -> None:
+        by_name = {shard.name: shard for shard in live}
+        names = sorted(by_name)
+        with self._lock:
+            for shard in live:
+                shard.queue.clear()
+            for index in indices:
+                shard = by_name[route_shard(cells[index], names)]
+                shard.queue.append(index)
+                self.stats.add("cells_routed", shard=shard.name)
+
+    def _take_chunk(self, shard: _Shard, size: int) -> List[int]:
+        """Next chunk for ``shard``: its own queue, else steal."""
+        with self._lock:
+            chunk: List[int] = []
+            while shard.queue and len(chunk) < size:
+                chunk.append(shard.queue.popleft())
+            if chunk:
+                return chunk
+            victims = [other for other in self.shards
+                       if other is not shard and not other.dead
+                       and other.queue]
+            if not victims:
+                return []
+            victim = max(victims,
+                         key=lambda other: other.estimated_backlog_seconds())
+            # Steal at most half the backlog, from the cold tail, so
+            # the victim keeps the front it routed for cache affinity.
+            take = min(size, max(1, len(victim.queue) // 2))
+            stolen = [victim.queue.pop() for _ in range(take)]
+            stolen.reverse()
+            self.stats.add("cells_stolen", len(stolen), shard=shard.name)
+            return stolen
+
+    def _shard_worker(self, shard: _Shard, cells: List[Cell],
+                      results: List[Optional[Dict[str, Any]]],
+                      errors: List[str], integrity: str,
+                      waive: Tuple[str, ...], label: str) -> None:
+        chunk_size = max(1, self.config.jobs)
+        client: Optional[ReproServiceClient] = None
+        try:
+            while not self._cancel.is_set() and not errors:
+                chunk = self._take_chunk(shard, chunk_size)
+                if not chunk:
+                    return
+                try:
+                    if client is None:
+                        client = ReproServiceClient(
+                            socket_path=shard.endpoint,
+                            timeout=self.config.timeout,
+                            client="fabric",
+                            connect_retry=self.config.connect_retry,
+                        ).connect()
+                    self._dispatch(client, shard, cells, chunk, results,
+                                   integrity, waive, label)
+                except FabricError as exc:
+                    errors.append(str(exc))
+                    return
+                except (ServiceError, OSError) as exc:
+                    self._shard_died(shard, chunk, cells, results, exc)
+                    return
+        finally:
+            shard.current_job = None
+            if client is not None:
+                client.close()
+
+    def _dispatch(self, client: ReproServiceClient, shard: _Shard,
+                  cells: List[Cell], chunk: List[int],
+                  results: List[Optional[Dict[str, Any]]],
+                  integrity: str, waive: Tuple[str, ...],
+                  label: str) -> None:
+        batch = [cells[index] for index in chunk]
+        started = time.monotonic()
+        reply = client.submit(batch, label=f"{label}:{shard.name}",
+                              integrity=integrity, waive=waive, stream=True)
+        job_id = reply["job"]
+        shard.current_job = job_id
+        try:
+            for event in client.iter_job_events(job_id):
+                if event["event"] == "cell":
+                    results[chunk[event["index"]]] = event["payload"]
+                    with self._lock:
+                        self.stats.add("cells_completed", shard=shard.name)
+                elif (event["event"] == "job"
+                        and event["state"] != "done"):
+                    if (event["state"] == "cancelled"
+                            and self._cancel.is_set()):
+                        return
+                    raise FabricError(
+                        f"shard {shard.name} job {job_id} ended "
+                        f"{event['state']}: {event.get('error')}"
+                    )
+        finally:
+            shard.current_job = None
+        with self._lock:
+            shard.busy_seconds += time.monotonic() - started
+            shard.dispatched_cells += len(chunk)
+            self.stats.add("jobs_dispatched", shard=shard.name)
+
+    def _shard_died(self, shard: _Shard, chunk: List[int],
+                    cells: List[Cell],
+                    results: List[Optional[Dict[str, Any]]],
+                    exc: Exception) -> None:
+        """Mark the shard dead and requeue its unfinished cells.
+
+        In-flight cells without a streamed payload restart from scratch
+        on a surviving shard — cells are pure, so the pristine re-run is
+        byte-identical to what the dead shard would have produced.
+        """
+        with self._lock:
+            shard.dead = True
+            shard.hello = {"error": str(exc)}
+            self.stats.add("shard_failures", shard=shard.name)
+            leftovers = [index for index in chunk
+                         if results[index] is None]
+            leftovers.extend(shard.queue)
+            shard.queue.clear()
+            live = [other for other in self.shards if not other.dead]
+            if not live:
+                return  # run_cells falls back to the local serial path
+            by_name = {other.name: other for other in live}
+            names = sorted(by_name)
+            for index in leftovers:
+                by_name[route_shard(cells[index], names)].queue.append(index)
+                self.stats.add("cells_requeued", shard=shard.name)
+
+    # -- observability -------------------------------------------------
+    def stats_snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            self.stats.set_gauge("live_shards", len(self.live_shards()))
+            self.stats.set_gauge(
+                "queued_cells",
+                sum(len(shard.queue) for shard in self.shards),
+            )
+            return self.stats.to_dict()
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """One JSON-safe row per shard (endpoint, liveness, identity)."""
+        rows = []
+        for shard in self.shards:
+            rows.append({
+                "name": shard.name,
+                "endpoint": shard.endpoint,
+                "alive": not shard.dead,
+                "pid": shard.process.pid if shard.process else None,
+                "hello": shard.hello,
+            })
+        return rows
+
+
+# ----------------------------------------------------------------------
+# runner integration: run_cells(backend="fabric")
+# ----------------------------------------------------------------------
+def run_pending(
+    cells: List[Cell],
+    pending: List[int],
+    jobs: int = 2,
+    timeout: Optional[float] = _runner.DEFAULT_TIMEOUT,
+    shards: int = DEFAULT_SHARDS,
+    integrity: str = "ignore",
+    waive: Tuple[str, ...] = (),
+) -> Dict[int, Dict[str, Any]]:
+    """Backend hook for :func:`repro.tools.runner.run_cells`.
+
+    Attaches to ``REPRO_FABRIC_ENDPOINTS`` or a running ``repro fabric
+    start`` ledger when available (their warm pools are the point);
+    otherwise spawns a transient local fabric and drains it afterwards.
+    Raises :class:`FabricUnavailable` for the caller to degrade to the
+    next backend.
+    """
+    config = FabricConfig(
+        shards=max(1, shards),
+        jobs=max(1, jobs),
+        endpoints=resolve_endpoints(),
+        timeout=timeout,
+    )
+    coordinator = FabricCoordinator(config)
+    try:
+        coordinator.start()
+        payloads = coordinator.run_cells(
+            [cells[index] for index in pending],
+            integrity=integrity, waive=waive, label="run-cells",
+        )
+    finally:
+        coordinator.stop()
+    return dict(zip(pending, payloads))

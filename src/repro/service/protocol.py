@@ -11,11 +11,19 @@ what makes the byte-identity contract (daemon results == serial
 ``run_cells`` results) checkable end to end.
 
 Every frame is one JSON object.  Client -> daemon objects carry an
-``"op"`` key (``submit``/``status``/``result``/``cancel``/
+``"op"`` key (``hello``/``submit``/``status``/``result``/``cancel``/
 ``tail-metrics``/``stats``/``shutdown``); daemon -> client objects are
 either direct replies (``{"ok": true, ...}`` / ``{"ok": false,
 "error": ..., "code": ...}``) or streamed events (``{"event": "cell" |
 "job" | "metrics", ...}``).
+
+Transports: a daemon listens on a unix socket and (optionally, for the
+shard fabric) a TCP endpoint.  Endpoints are written ``tcp://host:port``
+or as a plain unix-socket path; :func:`parse_endpoint` and
+:func:`connect_endpoint` keep both sides agnostic.  TCP carries no
+authentication — the frames are JSON (never pickle), so a hostile peer
+cannot inject code, but it *can* submit work; bind loopback or a
+trusted network only (see README).
 """
 
 from __future__ import annotations
@@ -26,12 +34,21 @@ import os
 import socket
 import struct
 import tempfile
-from typing import Any, Dict, Iterator, List, Optional, Set
+import time
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.config import CostModel, PlatformConfig
 from repro.tools.runner import Cell
 
 _LEN = struct.Struct(">Q")
+
+#: Wire-protocol generation, exchanged in the ``hello`` handshake.
+#: Version 1 was the unversioned PR-8 unix-socket protocol (no
+#: ``hello`` op); version 2 added ``hello``, the TCP transport and the
+#: shard identity fields.  A daemon refuses a client announcing a
+#: different version (code ``protocol-version``) rather than
+#: misinterpreting its frames.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame body.  A table-scale result payload is tens
 #: of kilobytes; anything near this limit is a corrupt length prefix or
@@ -101,6 +118,94 @@ def default_socket_path() -> str:
         return configured
     uid = os.getuid() if hasattr(os, "getuid") else 0
     return os.path.join(tempfile.gettempdir(), f"repro-serve-{uid}.sock")
+
+
+# ----------------------------------------------------------------------
+# Endpoints: unix paths and tcp://host:port
+# ----------------------------------------------------------------------
+def parse_endpoint(endpoint: str) -> Tuple[str, Any]:
+    """``("tcp", (host, port))`` or ``("unix", path)``.
+
+    ``tcp://:9000`` and ``tcp://9000`` both mean loopback on port 9000 —
+    remote daemons must be asked for by explicit host, never implied.
+    Anything without the ``tcp://`` scheme is a unix-socket path.
+    """
+    if endpoint.startswith("tcp://"):
+        rest = endpoint[len("tcp://"):]
+        host, sep, port_text = rest.rpartition(":")
+        if not sep:
+            host, port_text = "", rest
+        if not port_text.isdigit():
+            raise ServiceError(
+                f"bad TCP endpoint {endpoint!r}: expected tcp://host:port"
+            )
+        return "tcp", (host or "127.0.0.1", int(port_text))
+    return "unix", endpoint
+
+
+def format_tcp_endpoint(host: str, port: int) -> str:
+    return f"tcp://{host}:{port}"
+
+
+def connect_endpoint(
+    endpoint: str,
+    timeout: Optional[float] = None,
+    retry_window: float = 0.0,
+) -> socket.socket:
+    """Open a blocking client socket to a unix or TCP endpoint.
+
+    A just-spawned daemon takes a beat to bind its socket, so the
+    connect refusals that race it (``ECONNREFUSED``, and ``ENOENT`` for
+    a not-yet-created unix path) are retried with a short exponential
+    backoff for up to ``retry_window`` seconds before giving up.  Any
+    other ``OSError`` — unroutable host, permission — fails immediately;
+    retrying those would only hide the real problem.
+    """
+    family, address = parse_endpoint(endpoint)
+    deadline = time.monotonic() + max(0.0, retry_window)
+    backoff = 0.02
+    while True:
+        sock = (socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                if family == "unix"
+                else socket.socket(socket.AF_INET, socket.SOCK_STREAM))
+        sock.settimeout(timeout)
+        try:
+            sock.connect(address)
+            return sock
+        except (ConnectionRefusedError, FileNotFoundError) as exc:
+            sock.close()
+            if time.monotonic() + backoff > deadline:
+                raise ServiceError(
+                    f"cannot reach a repro serve daemon at {endpoint} "
+                    f"({exc}); start one with 'python -m repro serve'"
+                ) from exc
+            time.sleep(backoff)
+            backoff = min(backoff * 2, 0.5)
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot reach a repro serve daemon at {endpoint} "
+                f"({exc}); start one with 'python -m repro serve'"
+            ) from exc
+
+
+def hello_message(client: Optional[str] = None) -> Dict[str, Any]:
+    """The handshake frame a client opens a versioned session with."""
+    message: Dict[str, Any] = {"op": "hello",
+                               "protocol": PROTOCOL_VERSION}
+    if client:
+        message["client"] = client
+    return message
+
+
+def check_hello_reply(reply: Dict[str, Any], endpoint: str) -> None:
+    """Raise :class:`ServiceError` unless the daemon speaks our protocol."""
+    peer = reply.get("protocol")
+    if peer != PROTOCOL_VERSION:
+        raise ServiceError(
+            f"daemon at {endpoint} speaks protocol {peer!r}, this client "
+            f"speaks {PROTOCOL_VERSION}; upgrade the older side"
+        )
 
 
 # ----------------------------------------------------------------------

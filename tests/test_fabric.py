@@ -1,0 +1,505 @@
+"""Shard fabric: TCP transport, routing, stealing, requeue (ISSUE 9).
+
+The contract (DESIGN.md §5h): a batch run across N shard daemons is
+byte-identical to a serial ``run_cells`` of the same cell list; cells
+route to shards by a stable hash of their environment key; idle shards
+steal from the most-backlogged victim's tail; a shard dying mid-batch
+gets its cells requeued onto survivors; cancellation propagates to
+in-flight remote jobs without leaking children; and the v2 ``hello``
+handshake refuses protocol mismatches instead of misinterpreting
+frames.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.obs.service import FabricStats
+from repro.service import fabric
+from repro.service.client import ReproServiceClient
+from repro.service.daemon import DaemonConfig, ReproDaemon
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ServiceError,
+    connect_endpoint,
+    hello_message,
+    parse_endpoint,
+    send_message,
+)
+from repro.tools.runner import Cell, run_cells
+
+from tests.test_forkserver import live_children  # shared /proc helper
+from tests.test_service import echo_cell, no_backend_env, sleep_cell  # noqa: F401
+
+
+def start_daemon(tmp_path, name="d", **config_kwargs):
+    """In-process daemon on a tmp socket; returns (daemon, thread)."""
+    config = DaemonConfig(
+        socket_path=str(tmp_path / f"{name}.sock"),
+        jobs=config_kwargs.pop("jobs", 2),
+        no_cache=config_kwargs.pop("no_cache", True),
+        **config_kwargs,
+    )
+    daemon = ReproDaemon(config)
+    ready = threading.Event()
+    thread = threading.Thread(target=daemon.serve, args=(ready,),
+                              daemon=True)
+    thread.start()
+    assert ready.wait(10), f"daemon {name} never came up"
+    return daemon, thread
+
+
+def stop_daemon(daemon, thread):
+    daemon.request_shutdown()
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "daemon failed to drain"
+
+
+@pytest.fixture
+def two_shards(tmp_path, no_backend_env):
+    """Two in-process daemons; yields their unix endpoints."""
+    pairs = [start_daemon(tmp_path, f"shard{i}", shard_id=f"s{i}")
+             for i in range(2)]
+    yield [daemon.config.resolved_socket_path() for daemon, _ in pairs]
+    for daemon, thread in pairs:
+        stop_daemon(daemon, thread)
+
+
+# ----------------------------------------------------------------------
+# Endpoints and the TCP transport
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_parse_unix_path(self):
+        assert parse_endpoint("/tmp/x.sock") == ("unix", "/tmp/x.sock")
+
+    def test_parse_tcp_with_host(self):
+        assert parse_endpoint("tcp://10.0.0.7:9000") == (
+            "tcp", ("10.0.0.7", 9000))
+
+    def test_tcp_without_host_means_loopback(self):
+        assert parse_endpoint("tcp://:9000") == ("tcp", ("127.0.0.1", 9000))
+        assert parse_endpoint("tcp://9000") == ("tcp", ("127.0.0.1", 9000))
+
+    def test_bad_tcp_port_is_rejected(self):
+        with pytest.raises(ServiceError, match="bad TCP endpoint"):
+            parse_endpoint("tcp://host:nope")
+
+    def test_daemon_serves_byte_identical_results_over_tcp(
+        self, tmp_path, no_backend_env
+    ):
+        daemon, thread = start_daemon(tmp_path, "tcp", tcp=":0")
+        try:
+            assert daemon.tcp_endpoint.startswith("tcp://127.0.0.1:")
+            cells = [echo_cell(f"e{i}", i) for i in range(4)]
+            with ReproServiceClient(socket_path=daemon.tcp_endpoint,
+                                    timeout=60) as client:
+                assert client.hello()["protocol"] == PROTOCOL_VERSION
+                payloads = client.run_cells(cells, label="tcp-roundtrip")
+            serial = run_cells(cells, backend="serial", cache=None,
+                               integrity="ignore")
+            assert json.dumps(payloads) == json.dumps(serial)
+        finally:
+            stop_daemon(daemon, thread)
+
+    def test_handshake_refuses_protocol_mismatch(self, tmp_path,
+                                                 no_backend_env):
+        daemon, thread = start_daemon(tmp_path, "vers")
+        try:
+            sock = connect_endpoint(daemon.config.resolved_socket_path(),
+                                    timeout=10)
+            try:
+                stale = hello_message("time-traveller")
+                stale["protocol"] = PROTOCOL_VERSION + 1
+                send_message(sock, stale)
+                decoder = FrameDecoder()
+                frames = []
+                while not frames:
+                    frames = decoder.feed(sock.recv(65536))
+                reply = frames[0]
+            finally:
+                sock.close()
+            assert reply["ok"] is False
+            assert reply["code"] == "protocol-version"
+        finally:
+            stop_daemon(daemon, thread)
+
+    def test_connect_retries_until_late_daemon_binds(self, tmp_path,
+                                                     no_backend_env):
+        # Satellite: ECONNREFUSED/ENOENT during the retry window must
+        # be absorbed — the daemon binds ~0.3s after the client starts
+        # dialling a not-yet-existing socket path.
+        sock_path = str(tmp_path / "late.sock")
+        holder = {}
+
+        def late_start():
+            time.sleep(0.3)
+            holder["pair"] = start_daemon(tmp_path, "late")
+
+        starter = threading.Thread(target=late_start)
+        starter.start()
+        try:
+            client = ReproServiceClient(socket_path=sock_path, timeout=60,
+                                        connect_retry=10.0)
+            with client:
+                assert client.hello()["protocol"] == PROTOCOL_VERSION
+        finally:
+            starter.join()
+            if "pair" in holder:
+                stop_daemon(*holder["pair"])
+
+    def test_hard_connect_errors_fail_without_retrying(self, tmp_path):
+        started = time.monotonic()
+        with pytest.raises(ServiceError, match="cannot reach"):
+            connect_endpoint(str(tmp_path / "nobody.sock"), timeout=5,
+                             retry_window=0.2)
+        # the ENOENT retries stop at the window, not the timeout
+        assert time.monotonic() - started < 3
+
+
+# ----------------------------------------------------------------------
+# Affinity routing and adaptive splitting
+# ----------------------------------------------------------------------
+class TestRoutingAndSplitting:
+    def table1_cell(self, ops, environment="hypernel"):
+        return Cell(kind="table1", environment=environment,
+                    workload="lmbench",
+                    spec={"ops": list(ops), "warmup": 1, "iterations": 2},
+                    cacheable=False)
+
+    def test_route_is_stable_and_environment_keyed(self):
+        names = ["shard0", "shard1", "shard2"]
+        cell = echo_cell("env-a", 1)
+        first = fabric.route_shard(cell, names)
+        assert all(fabric.route_shard(cell, names) == first
+                   for _ in range(10))
+        # same environment key -> same shard, whatever the value
+        twin = echo_cell("env-a", 999)
+        assert fabric.route_shard(twin, names) == first
+
+    def test_dead_shard_redistributes_deterministically(self):
+        cells = [self.table1_cell(["mmap"], environment=f"env{i}")
+                 for i in range(8)]
+        full = ["shard0", "shard1", "shard2"]
+        survivors = ["shard0", "shard2"]
+        rerouted = [fabric.route_shard(cell, survivors) for cell in cells]
+        assert set(rerouted) <= set(survivors)
+        # cells that never lived on the dead shard may move too (modulo
+        # changes), but the mapping stays a pure function of the list
+        assert rerouted == [fabric.route_shard(cell, survivors)
+                            for cell in cells]
+        assert fabric.route_shard(cells[0], full) in full
+
+    def test_split_cell_partitions_preserving_order(self):
+        cell = self.table1_cell(["a", "b", "c", "d", "e"])
+        subcells = fabric.split_cell(cell, 2)
+        assert [sub.workload for sub in subcells] == [
+            "lmbench[1/2]", "lmbench[2/2]"]
+        assert [sub.spec["ops"] for sub in subcells] == [
+            ["a", "b", "c"], ["d", "e"]]
+        # each subcell re-executes the ops before its slice unrecorded,
+        # so measured values see the unsplit run's state sequence
+        assert [sub.spec["context_ops"] for sub in subcells] == [
+            [], ["a", "b", "c"]]
+        for sub in subcells:
+            assert sub.environment == cell.environment
+            assert sub.spec["iterations"] == cell.spec["iterations"]
+
+    def test_split_clamps_pieces_to_item_count(self):
+        cell = self.table1_cell(["a", "b"])
+        assert len(fabric.split_cell(cell, 5)) == 2
+
+    def test_unsplittable_cells_come_back_whole(self):
+        assert fabric.split_cell(echo_cell("e", 1), 4) == [echo_cell("e", 1)]
+        single = self.table1_cell(["only"])
+        assert fabric.split_cell(single, 4) == [single]
+
+    def test_adaptive_split_is_noop_with_enough_cells(self):
+        cells = [self.table1_cell(["a", "b"], environment=f"e{i}")
+                 for i in range(4)]
+        assert fabric.adaptive_split(cells, 4) == cells
+
+    def test_adaptive_split_reaches_slot_count(self):
+        cells = [self.table1_cell(["a", "b", "c", "d"],
+                                  environment=f"e{i}") for i in range(2)]
+        split = fabric.adaptive_split(cells, 4)
+        assert len(split) == 4
+        # flattening the subcell op lists reproduces the originals
+        assert [op for sub in split[:2] for op in sub.spec["ops"]] == [
+            "a", "b", "c", "d"]
+
+    def test_maybe_split_only_touches_fabric_batches(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_BACKEND", raising=False)
+        cells = [self.table1_cell(["a", "b", "c", "d"])]
+        assert fabric.maybe_split_for_fabric(cells, "auto", 2, 2) == cells
+        assert len(fabric.maybe_split_for_fabric(cells, "fabric", 2, 2)) == 4
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "fabric")
+        assert len(fabric.maybe_split_for_fabric(cells, "auto", 2, 2)) == 4
+
+
+# ----------------------------------------------------------------------
+# State file and endpoint resolution
+# ----------------------------------------------------------------------
+class TestFabricState:
+    def test_state_round_trip_and_clear(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FABRIC_STATE",
+                           str(tmp_path / "fabric.json"))
+        document = {"version": fabric.STATE_VERSION, "workdir": "/x",
+                    "shards": [{"name": "shard0", "endpoint": "/x/a.sock",
+                                "pid": 1}]}
+        fabric.write_state(document)
+        assert fabric.read_state() == document
+        fabric.clear_state()
+        assert fabric.read_state() is None
+
+    def test_corrupt_or_mismatched_state_reads_as_none(self, tmp_path,
+                                                       monkeypatch):
+        path = tmp_path / "fabric.json"
+        monkeypatch.setenv("REPRO_FABRIC_STATE", str(path))
+        path.write_text("not json")
+        assert fabric.read_state() is None
+        path.write_text(json.dumps({"version": 999, "shards": []}))
+        assert fabric.read_state() is None
+
+    def test_endpoint_env_wins_over_state_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FABRIC_STATE",
+                           str(tmp_path / "fabric.json"))
+        fabric.write_state({"version": fabric.STATE_VERSION,
+                            "workdir": "/x",
+                            "shards": [{"name": "s", "endpoint": "/s.sock",
+                                        "pid": 2}]})
+        assert fabric.resolve_endpoints() == ["/s.sock"]
+        monkeypatch.setenv("REPRO_FABRIC_ENDPOINTS",
+                           "tcp://h:1, /other.sock")
+        assert fabric.resolve_endpoints() == ["tcp://h:1", "/other.sock"]
+
+    def test_no_state_resolves_to_none(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FABRIC_STATE",
+                           str(tmp_path / "absent.json"))
+        monkeypatch.delenv("REPRO_FABRIC_ENDPOINTS", raising=False)
+        assert fabric.resolve_endpoints() is None
+
+
+# ----------------------------------------------------------------------
+# Coordinator over live shards
+# ----------------------------------------------------------------------
+class TestCoordinator:
+    def test_batch_byte_identical_with_stealing(self, two_shards):
+        # Every selftest cell shares one environment key, so affinity
+        # routes the whole batch to one shard — the other shard's only
+        # path to work is stealing from the victim's tail.
+        cells = [sleep_cell(f"s{i}", 0.15) for i in range(3)]
+        cells += [echo_cell(f"e{i}", i) for i in range(5)]
+        config = fabric.FabricConfig(endpoints=two_shards, jobs=1)
+        with fabric.FabricCoordinator(config) as coordinator:
+            payloads = coordinator.run_cells(cells, integrity="ignore")
+            snapshot = coordinator.stats_snapshot()
+        serial = run_cells(cells, backend="serial", cache=None,
+                           integrity="ignore")
+        assert json.dumps(payloads) == json.dumps(serial)
+        counters = snapshot["counters"]
+        assert counters["cells_routed"] == len(cells)
+        assert counters["cells_completed"] == len(cells)
+        assert counters["cells_stolen"] > 0
+        assert counters["shard_failures"] == 0
+
+    def test_unreachable_shard_degrades_not_dies(self, two_shards,
+                                                 tmp_path):
+        endpoints = [two_shards[0], str(tmp_path / "nobody.sock")]
+        config = fabric.FabricConfig(endpoints=endpoints, jobs=1,
+                                     connect_retry=0.2)
+        cells = [echo_cell(f"e{i}", i) for i in range(3)]
+        with fabric.FabricCoordinator(config) as coordinator:
+            assert len(coordinator.live_shards()) == 1
+            payloads = coordinator.run_cells(cells, integrity="ignore")
+            assert coordinator.stats.counters["shard_failures"] == 1
+        assert [p["value"] for p in payloads] == [0, 1, 2]
+
+    def test_no_reachable_shard_raises_unavailable(self, tmp_path):
+        config = fabric.FabricConfig(
+            endpoints=[str(tmp_path / "a.sock"), str(tmp_path / "b.sock")],
+            connect_retry=0.1,
+        )
+        with pytest.raises(fabric.FabricUnavailable, match="no fabric"):
+            fabric.FabricCoordinator(config).start()
+
+    def test_failing_cell_fails_the_batch_loudly(self, two_shards):
+        bad = Cell(kind="selftest", environment="x", workload="fault",
+                   spec={"mode": "fail"}, cacheable=False)
+        config = fabric.FabricConfig(endpoints=two_shards, jobs=1)
+        with fabric.FabricCoordinator(config) as coordinator:
+            with pytest.raises(fabric.FabricError, match="failed"):
+                coordinator.run_cells([echo_cell("a", 1), bad],
+                                      integrity="ignore")
+
+    def test_stats_round_trip(self):
+        stats = FabricStats()
+        stats.add("batches")
+        stats.add("cells_routed", 5, shard="shard0")
+        stats.add("cells_stolen", 2, shard="shard1")
+        stats.set_gauge("live_shards", 2)
+        rebuilt = FabricStats.from_dict(
+            json.loads(json.dumps(stats.to_dict())))
+        assert rebuilt.to_dict() == stats.to_dict()
+        board = rebuilt.format()
+        assert "cells_routed" in board and "shard0" in board
+
+
+# ----------------------------------------------------------------------
+# Dead-shard requeue (spawned daemons, a real SIGKILL)
+# ----------------------------------------------------------------------
+class TestDeadShardRequeue:
+    def test_sigkill_mid_batch_requeues_and_completes(self, tmp_path,
+                                                      no_backend_env):
+        cells = [sleep_cell(f"k{i}", 0.2) for i in range(6)]
+        config = fabric.FabricConfig(shards=2, jobs=1, no_cache=True,
+                                     socket_dir=str(tmp_path / "fab"))
+        coordinator = fabric.FabricCoordinator(config)
+        try:
+            coordinator.start()
+            names = sorted(s.name for s in coordinator.live_shards())
+            victim_name = fabric.route_shard(cells[0], names)
+            victim = next(s for s in coordinator.shards
+                          if s.name == victim_name)
+            timer = threading.Timer(
+                0.3, lambda: victim.process.send_signal(signal.SIGKILL))
+            timer.start()
+            try:
+                payloads = coordinator.run_cells(cells, integrity="ignore")
+            finally:
+                timer.cancel()
+            counters = coordinator.stats.counters
+            assert victim.dead
+            assert counters["shard_failures"] >= 1
+            assert counters["cells_requeued"] >= 1
+        finally:
+            coordinator.stop()
+        serial = run_cells(cells, backend="serial", cache=None,
+                           integrity="ignore")
+        assert json.dumps(payloads) == json.dumps(serial)
+        # both spawned daemons are reaped, SIGKILLed one included
+        for shard in coordinator.shards:
+            assert shard.process.poll() is not None
+
+
+# ----------------------------------------------------------------------
+# Cancel mid-dispatch on a remote (TCP) shard — satellite
+# ----------------------------------------------------------------------
+class TestRemoteCancel:
+    def test_cancel_propagates_without_leaking_children(self, tmp_path,
+                                                        no_backend_env):
+        daemon, thread = start_daemon(tmp_path, "remote", tcp=":0",
+                                      shard_id="remote0")
+        try:
+            # Warm the pool first: its long-lived server is a legitimate
+            # child; snapshot /proc after it exists.
+            with ReproServiceClient(socket_path=daemon.tcp_endpoint,
+                                    timeout=60) as warm:
+                warm.run_cells([echo_cell("warm", 0)], integrity="ignore")
+            before = live_children()
+
+            config = fabric.FabricConfig(endpoints=[daemon.tcp_endpoint],
+                                         jobs=2)
+            coordinator = fabric.FabricCoordinator(config)
+            coordinator.start()
+            outcome = {}
+
+            def run_batch():
+                try:
+                    coordinator.run_cells(
+                        [sleep_cell(f"c{i}", 0.5) for i in range(6)],
+                        integrity="ignore", label="doomed")
+                except Exception as exc:  # noqa: BLE001 - asserted below
+                    outcome["error"] = exc
+
+            runner = threading.Thread(target=run_batch)
+            runner.start()
+            deadline = time.monotonic() + 20
+            shard = coordinator.shards[0]
+            while shard.current_job is None:
+                assert time.monotonic() < deadline, "job never dispatched"
+                time.sleep(0.02)
+            coordinator.cancel()
+            runner.join(timeout=30)
+            assert not runner.is_alive()
+            assert isinstance(outcome.get("error"), fabric.FabricCancelled)
+            assert coordinator.stats.counters["cancelled_batches"] == 1
+            coordinator.stop()
+
+            # no leaked children once the cancelled workers unwind
+            if before is not None:
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    leaked = live_children() - before
+                    if not leaked:
+                        break
+                    time.sleep(0.1)
+                assert not leaked, f"leaked children: {leaked}"
+
+            # the shard daemon survived the cancel and still serves
+            with ReproServiceClient(socket_path=daemon.tcp_endpoint,
+                                    timeout=60) as client:
+                again = client.run_cells([echo_cell("again", 7)],
+                                         integrity="ignore")
+            assert again[0]["value"] == 7
+        finally:
+            stop_daemon(daemon, thread)
+
+
+# ----------------------------------------------------------------------
+# runner/CLI integration
+# ----------------------------------------------------------------------
+class TestIntegration:
+    def test_run_cells_fabric_backend_uses_attached_endpoints(
+        self, two_shards, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FABRIC_ENDPOINTS",
+                           ",".join(two_shards))
+        cells = [echo_cell(f"e{i}", i) for i in range(4)]
+        payloads = run_cells(cells, backend="fabric", cache=None,
+                             integrity="ignore")
+        serial = run_cells(cells, backend="serial", cache=None,
+                           integrity="ignore")
+        assert json.dumps(payloads) == json.dumps(serial)
+
+    def test_fabric_backend_degrades_when_no_shard_comes_up(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_BENCH_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_FABRIC_ENDPOINTS",
+                           str(tmp_path / "nobody.sock"))
+        cells = [echo_cell(f"e{i}", i) for i in range(3)]
+        payloads = run_cells(cells, backend="fabric", cache=None,
+                             integrity="ignore")
+        assert [p["value"] for p in payloads] == [0, 1, 2]
+
+    def test_reproctl_stats_json_round_trips(self, tmp_path,
+                                             no_backend_env, capsys):
+        from repro import cli
+        from repro.obs.service import ServiceStats
+
+        daemon, thread = start_daemon(tmp_path, "stats", shard_id="s7")
+        try:
+            with ReproServiceClient(
+                socket_path=daemon.config.resolved_socket_path(),
+                timeout=60,
+            ) as client:
+                client.run_cells([echo_cell("e", 1)], integrity="ignore")
+            code = cli.main([
+                "reproctl", "--socket",
+                daemon.config.resolved_socket_path(), "stats", "--json",
+            ])
+        finally:
+            stop_daemon(daemon, thread)
+        assert code == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["shard"] == "s7"
+        assert parsed["counters"]["jobs_completed"] >= 1
+        rebuilt = ServiceStats.from_dict(parsed)
+        assert rebuilt.counters["jobs_completed"] == parsed["counters"][
+            "jobs_completed"]
+        assert "jobs_completed" in rebuilt.format()
