@@ -38,12 +38,27 @@ from repro.attacks.pgtable import (
 )
 from repro.attacks.rootkit import CredEscalationAttack, DentryHijackAttack
 
+#: Translation-machinery attacks the hypercall fuzzer mounts as rules:
+#: safe to repeat any number of times against a protected system (each
+#: restores the registers it touched), and all of them must come back
+#: ``blocked`` under Hypernel.  Keyed by the attack's ``name``.
+FUZZABLE_ATTACKS = {
+    attack.name: attack
+    for attack in (
+        HypercallAbuseAttack,
+        MmuDisableAttack,
+        PageTableTamperAttack,
+        TtbrSwitchAttack,
+    )
+}
+
 __all__ = [
     "AtraAttack",
     "AttackOutcome",
     "CredEscalationAttack",
     "DentryHijackAttack",
     "DmaAttack",
+    "FUZZABLE_ATTACKS",
     "HypercallAbuseAttack",
     "MmuDisableAttack",
     "PageTableTamperAttack",

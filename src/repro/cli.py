@@ -17,6 +17,15 @@ Commands:
   (repro.obs).  Exits non-zero when the monitoring pipeline lost
   events, unless ``--no-enforce`` or the check is ``--waive``d;
   ``--json PATH`` exports the report as JSONL.
+* ``fuzz`` — adversarial hypercall fuzzing of Hypersec
+  (repro.security.fuzz): a Hypothesis state machine drives random
+  hypercall/trapped-register/attack sequences against a booted
+  machine, predicts every verdict from the shared invariant spec, and
+  cross-checks the live auditor against the snapshot-grounded
+  differential gate after every example.  ``--corpus DIR`` replays
+  recorded traces instead; ``--jsonl PATH`` streams the run's
+  violation counters as an integrity record for
+  ``scripts/check_integrity.py --jsonl``.
 * ``snapshot`` — save/restore/inspect/diff machine checkpoints
   (``repro.state``): ``snapshot save``, ``snapshot restore``,
   ``snapshot info``, ``snapshot diff``.
@@ -367,6 +376,134 @@ def _add_metrics_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-enforce", action="store_true",
                         help="report integrity failures without failing "
                         "the exit status")
+
+
+def cmd_fuzz(args) -> int:
+    from repro.security.fuzz.machine import (
+        FUZZ_STATS,
+        LAST_TRACE,
+        PROFILES,
+        FuzzViolation,
+        replay_corpus,
+        run_fuzz,
+        save_trace,
+    )
+
+    profiles = list(PROFILES) if args.profile == "both" else [args.profile]
+    totals: dict = {}
+    crashes = 0
+    failure: Optional[str] = None
+    started = time.time()
+
+    def merge(stats: dict) -> None:
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + value
+
+    if args.corpus:
+        print(f"replaying corpus {args.corpus} ...")
+        try:
+            merge(replay_corpus(args.corpus))
+        except FuzzViolation as exc:
+            failure = str(exc)
+            merge(FUZZ_STATS)
+    else:
+        per_profile = max(1, args.max_examples // len(profiles))
+        for profile in profiles:
+            print(f"fuzzing {profile!r} profile: {per_profile} examples, "
+                  f"{args.steps} steps each, seed {args.seed} ...")
+            try:
+                merge(run_fuzz(profile=profile, seed=args.seed,
+                               max_examples=per_profile, steps=args.steps))
+            except FuzzViolation as exc:
+                failure = f"[{profile}] {exc}"
+                merge(FUZZ_STATS)
+            except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+                crashes += 1
+                failure = f"[{profile}] machine crashed: {exc!r}"
+                merge(FUZZ_STATS)
+            if failure:
+                if LAST_TRACE:
+                    print("minimized reproducer:")
+                    print(json.dumps([e["op"] for e in LAST_TRACE],
+                                     indent=2, sort_keys=True))
+                if args.save_failing:
+                    save_trace(args.save_failing, profile,
+                               note="minimized by hypothesis shrinking")
+                    print(f"reproducer saved to {args.save_failing}")
+                break
+
+    elapsed = time.time() - started
+    vacuous = 0 if totals.get("ops") else 1
+    print(f"\n{totals.get('examples', 0)} example(s), "
+          f"{totals.get('ops', 0)} operation(s), "
+          f"{totals.get('differential_gates', 0)} differential gate(s) "
+          f"in {elapsed:.1f}s")
+    for key in sorted(totals):
+        print(f"  {key}: {totals[key]}")
+    if failure:
+        print(f"\nFUZZ FAILURE: {failure}")
+    else:
+        print("\nfuzz clean: every verdict matched the invariant spec and "
+              "both verification channels agree")
+
+    if args.jsonl:
+        violations = (totals.get("violations", 0)
+                      + totals.get("differential_disagreements", 0))
+        if failure and not violations and not crashes:
+            violations = 1  # a failure always fails the gate
+        checks = [
+            {"component": "fuzz", "counter": "violations",
+             "value": violations, "waived": False,
+             "description": "verdict/invariant disagreements (live audit "
+             "or differential gate)"},
+            {"component": "fuzz", "counter": "crashes",
+             "value": crashes, "waived": False,
+             "description": "unhandled exceptions while fuzzing"},
+            {"component": "fuzz", "counter": "vacuous_runs",
+             "value": vacuous, "waived": False,
+             "description": "runs that executed no operations"},
+        ]
+        record = {
+            "label": f"fuzz-{args.profile}",
+            "metrics": {
+                "system": "hypernel",
+                "sim_cycles": 0,
+                "components": {"fuzz": {
+                    key.replace(".", "_"): value
+                    for key, value in sorted(totals.items())
+                }},
+                "checks": checks,
+            },
+        }
+        with open(args.jsonl, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"integrity record appended to {args.jsonl}")
+
+    return 1 if (failure or vacuous) else 0
+
+
+def _add_fuzz_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", default="both",
+                        choices=["section", "page", "both"],
+                        help="linear-map mode of the machine under test "
+                        "(default both, splitting --max-examples)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="Hypothesis seed (default 0; runs are "
+                        "deterministic per seed)")
+    parser.add_argument("--max-examples", type=int, default=100,
+                        help="total state-machine examples across the "
+                        "selected profiles (default 100)")
+    parser.add_argument("--steps", type=int, default=8,
+                        help="rules per example (default 8)")
+    parser.add_argument("--corpus", default=None, metavar="DIR",
+                        help="replay every recorded trace in DIR instead "
+                        "of running the random state machine")
+    parser.add_argument("--jsonl", default=None, metavar="PATH",
+                        help="append an integrity record for "
+                        "scripts/check_integrity.py --jsonl")
+    parser.add_argument("--save-failing", default=None, metavar="PATH",
+                        help="save the minimized failing trace as a "
+                        "corpus file")
 
 
 def cmd_snapshot(args) -> int:
@@ -937,6 +1074,7 @@ _COMMANDS = {
     "table2": (cmd_table2, [_add_platform, _add_scale, _add_runner]),
     "attacks": (cmd_attacks, [_add_platform]),
     "audit": (cmd_audit, [_add_platform, _add_scale, _add_audit_args]),
+    "fuzz": (cmd_fuzz, [_add_fuzz_args]),
     "metrics": (cmd_metrics, [_add_platform, _add_scale, _add_metrics_args]),
     "report": (cmd_report, [_add_platform, _add_scale, _add_runner]),
     "snapshot": (cmd_snapshot, [_add_snapshot_args]),

@@ -8,6 +8,13 @@ as code and *checks them against the actual machine state* — walking
 the real translation tables in simulated memory, not Hypersec's
 bookkeeping.
 
+The invariant definitions and the checking engine live in
+:mod:`repro.security.fuzz.invariants`, shared with the offline snapshot
+checker and the hypercall fuzzer; this module contributes the *live*
+evidence channel — the adapter that lets the shared engine read the
+running platform — and keeps the historical
+``HypersecAuditor``/``AuditReport`` interface.
+
 Invariants audited (each maps to a paper claim):
 
 ``NO_SECURE_MAPPING``
@@ -28,6 +35,9 @@ Invariants audited (each maps to a paper claim):
     (§5.3): no lost coverage, no stray bits.
 ``TTBR_INTEGRITY``
     Live TTBR0/TTBR1 point at registered roots (§5.2.2).
+``TABLE_TOPOLOGY``
+    The table graph is well-formed: table pointers stay inside backed,
+    non-secure RAM (hostile pointers are reported, not followed).
 
 The auditor runs after :meth:`~repro.core.hypersec.Hypersec.protect`
 as a boot-time verification, and can be re-run at any time (tests run
@@ -36,52 +46,111 @@ it after every attack scenario).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.config import PAGE_BYTES, WORD_BYTES
-from repro.arch.pagetable import Descriptor, LEVEL_SPAN
+from repro.config import PAGE_BYTES
+from repro.errors import AllocationError, MemoryRangeError
+from repro.arch.pagetable import Descriptor
+from repro.security.fuzz.invariants import (
+    Evidence,
+    Finding as AuditFinding,
+    Geometry,
+    InvariantReport as AuditReport,
+    run_invariants,
+)
 from repro.utils.stats import StatSet
 
-
-@dataclass(frozen=True)
-class AuditFinding:
-    """One invariant violation."""
-
-    invariant: str
-    location: int
-    detail: str
+__all__ = ["AuditFinding", "AuditReport", "HypersecAuditor", "LiveEvidence"]
 
 
-@dataclass
-class AuditReport:
-    """Outcome of one audit pass."""
+class LiveEvidence(Evidence):
+    """The running machine as seen by Hypersec itself.
 
-    findings: List[AuditFinding] = field(default_factory=list)
-    tables_walked: int = 0
-    leaves_checked: int = 0
-    bitmap_words_checked: int = 0
+    Raw access goes through the platform's backdoor (``bus.peek``), so
+    the table walk reads real descriptors, but the *topology* inputs
+    (registered tables, monitored pages, recorded registers) come from
+    Hypersec's own bookkeeping.  That makes this channel fast and
+    always available — and blind to bookkeeping desync, which is why
+    ``claimed_tables`` returns ``None`` here and the dissimilar
+    snapshot channel exists.
+    """
 
-    @property
-    def clean(self) -> bool:
-        return not self.findings
-
-    def add(self, invariant: str, location: int, detail: str) -> None:
-        self.findings.append(AuditFinding(invariant, location, detail))
-
-    def __str__(self) -> str:
-        if self.clean:
-            return (
-                f"audit clean: {self.tables_walked} tables, "
-                f"{self.leaves_checked} leaves, "
-                f"{self.bitmap_words_checked} bitmap words"
-            )
-        lines = [f"audit found {len(self.findings)} violation(s):"]
-        lines.extend(
-            f"  [{f.invariant}] at {f.location:#x}: {f.detail}"
-            for f in self.findings
+    def __init__(self, hypersec):
+        self.hypersec = hypersec
+        self.platform = hypersec.platform
+        config = self.platform.config
+        self.geometry = Geometry(
+            dram_base=config.dram_base,
+            dram_limit=config.dram_base + config.dram_bytes,
+            secure_base=self.platform.secure_base,
+            secure_limit=self.platform.secure_limit,
         )
-        return "\n".join(lines)
+
+    # -- raw access ----------------------------------------------------
+    def peek(self, paddr: int) -> int:
+        return self.platform.bus.peek(paddr)
+
+    def backed(self, paddr: int) -> bool:
+        return self.platform.memory.contains(paddr)
+
+    def reg(self, name: str) -> int:
+        return self.hypersec.cpu.regs.read(name)
+
+    # -- translation topology -----------------------------------------
+    def roots(self) -> List[int]:
+        roots = {self.hypersec.kernel_root & ~(PAGE_BYTES - 1)}
+        roots.update(self.hypersec.root_tables)
+        return sorted(roots)
+
+    def table_pages(self) -> Set[int]:
+        return set(self.hypersec.table_pages)
+
+    # -- linear-map view ----------------------------------------------
+    def has_linear_view(self) -> bool:
+        return self.hypersec.kernel is not None
+
+    def linear_leaf(self, paddr: int) -> Optional[Descriptor]:
+        linear = self.hypersec.kernel.linear_map
+        try:
+            desc_addr, _level = linear.leaf_desc_addr(paddr)
+            return Descriptor(self.platform.bus.peek(desc_addr))
+        except (AllocationError, MemoryRangeError):
+            return None
+
+    # -- monitoring ----------------------------------------------------
+    def monitored_pages(self) -> Set[int]:
+        if self.hypersec.mbm is None:
+            return set()
+        return set(self.hypersec._monitored_page_refs)
+
+    def expected_bitmap(self) -> Optional[Dict[int, int]]:
+        mbm = self.hypersec.mbm
+        if mbm is None:
+            return None
+        expected: Dict[int, int] = {}
+        seen_regions = set()
+        for ranges in self.hypersec._region_index.values():
+            for base, end, sid in ranges:
+                if (base, end, sid) in seen_regions:
+                    continue
+                seen_regions.add((base, end, sid))
+                for word_addr, mask in mbm.bitmap.words_for_range(
+                        base, end - base):
+                    expected[word_addr] = expected.get(word_addr, 0) | mask
+        return expected
+
+    def bitmap_storage(self) -> Optional[Tuple[int, int]]:
+        mbm = self.hypersec.mbm
+        if mbm is None:
+            return None
+        return mbm.bitmap_storage
+
+    # -- recorded policy ----------------------------------------------
+    def recorded_kernel_root(self) -> Optional[int]:
+        return self.hypersec.kernel_root
+
+    def recorded_root_tables(self) -> Set[int]:
+        return set(self.hypersec.root_tables)
 
 
 class HypersecAuditor:
@@ -92,155 +161,12 @@ class HypersecAuditor:
         self.platform = hypersec.platform
         self.stats = StatSet("auditor")
 
-    # ------------------------------------------------------------------
-    # Table traversal (backdoor reads: the auditor is EL2 software and
-    # charges a flat per-audit cost instead of per-access timing)
-    # ------------------------------------------------------------------
-    def _walk_leaves(self, root: int) -> Iterator[Tuple[int, int, Descriptor]]:
-        """Yield ``(desc_addr, level, descriptor)`` for every valid leaf
-        reachable from ``root``, walking the real descriptors."""
-        bus = self.platform.bus
-        stack = [(root, 1)]
-        seen_tables = set()
-        while stack:
-            table, level = stack.pop()
-            if table in seen_tables:
-                continue  # malformed loop: avoid infinite traversal
-            seen_tables.add(table)
-            for index in range(PAGE_BYTES // WORD_BYTES):
-                desc_addr = table + index * WORD_BYTES
-                desc = Descriptor(bus.peek(desc_addr))
-                if not desc.valid:
-                    continue
-                if level < 3 and desc.is_table:
-                    stack.append((desc.address, level + 1))
-                else:
-                    yield desc_addr, level, desc
-        self._tables_walked = len(seen_tables)
-
-    def _all_roots(self) -> List[int]:
-        hypersec = self.hypersec
-        roots = {hypersec.kernel_root & ~(PAGE_BYTES - 1)}
-        roots.update(hypersec.root_tables)
-        return sorted(roots)
-
-    # ------------------------------------------------------------------
-    # The audit
-    # ------------------------------------------------------------------
     def audit(self) -> AuditReport:
         """Run every invariant check; returns the findings."""
-        report = AuditReport()
         self.stats.add("audits")
-        self._check_ttbrs(report)
-        for root in self._all_roots():
-            self._check_tree(root, report)
-        self._check_monitored_pages(report)
-        self._check_bitmap(report)
+        report = run_invariants(LiveEvidence(self.hypersec))
         # A modest flat cost: real audits would be periodic EL2 work.
+        # (The walk itself uses backdoor reads: the auditor is EL2
+        # software and charges per-audit, not per-access.)
         self.hypersec.cpu.compute(200 + report.leaves_checked // 4)
         return report
-
-    def _check_ttbrs(self, report: AuditReport) -> None:
-        regs = self.hypersec.cpu.regs
-        ttbr1 = regs.read("TTBR1_EL1")
-        if ttbr1 != self.hypersec.kernel_root:
-            report.add("TTBR_INTEGRITY", ttbr1,
-                       "TTBR1_EL1 does not point at the recorded kernel root")
-        ttbr0 = regs.read("TTBR0_EL1") & ~(PAGE_BYTES - 1)
-        if ttbr0 and ttbr0 not in self.hypersec.root_tables:
-            report.add("TTBR_INTEGRITY", ttbr0,
-                       "TTBR0_EL1 points at an unregistered root")
-
-    def _check_tree(self, root: int, report: AuditReport) -> None:
-        hypersec = self.hypersec
-        secure_base = self.platform.secure_base
-        secure_limit = self.platform.secure_limit
-        for desc_addr, level, desc in self._walk_leaves(root):
-            report.leaves_checked += 1
-            span = LEVEL_SPAN[level]
-            target_base = desc.address
-            target_end = target_base + span
-            if target_base < secure_limit and target_end > secure_base:
-                report.add("NO_SECURE_MAPPING", desc_addr,
-                           f"leaf maps secure region page {target_base:#x}")
-            if desc.writable:
-                for page in self._pages(target_base, target_end):
-                    if page in hypersec.table_pages:
-                        report.add(
-                            "NO_WRITABLE_TABLE_ALIAS", desc_addr,
-                            f"writable mapping of table page {page:#x}",
-                        )
-                if desc.executable and not desc.user:
-                    report.add("W_XOR_X", desc_addr,
-                               f"kernel leaf W+X at {target_base:#x}")
-            else:
-                # Read-only is what table pages must be; nothing to check.
-                pass
-            # TABLES_READ_ONLY: the linear-map leaf covering each table
-            # page must be read-only (checked from the table list below,
-            # but a writable alias inside *any* tree is caught above).
-        report.tables_walked += self._tables_walked
-        del self._tables_walked
-        if root == (hypersec.kernel_root & ~(PAGE_BYTES - 1)):
-            self._check_tables_read_only(report)
-
-    @staticmethod
-    def _pages(base: int, end: int) -> Iterator[int]:
-        # Cap the per-leaf page scan: 2 MB blocks dominate; 1 GB leaves
-        # do not occur in these kernels.
-        for page in range(base, min(end, base + (2 << 20)), PAGE_BYTES):
-            yield page
-
-    def _check_tables_read_only(self, report: AuditReport) -> None:
-        hypersec = self.hypersec
-        if hypersec.kernel is None:
-            return
-        linear = hypersec.kernel.linear_map
-        for table in sorted(hypersec.table_pages):
-            desc_addr, _level = linear.leaf_desc_addr(table)
-            desc = Descriptor(self.platform.bus.peek(desc_addr))
-            if desc.writable:
-                report.add("TABLES_READ_ONLY", table,
-                           "table page is writable through the linear map")
-
-    def _check_monitored_pages(self, report: AuditReport) -> None:
-        hypersec = self.hypersec
-        if hypersec.kernel is None or hypersec.mbm is None:
-            return
-        linear = hypersec.kernel.linear_map
-        for page in sorted(hypersec._monitored_page_refs):
-            desc_addr, _level = linear.leaf_desc_addr(page)
-            desc = Descriptor(self.platform.bus.peek(desc_addr))
-            if desc.cacheable:
-                report.add("MONITORED_UNCACHED", page,
-                           "monitored page is cacheable: MBM would miss writes")
-
-    def _check_bitmap(self, report: AuditReport) -> None:
-        """The bitmap must equal the union of registered regions."""
-        hypersec = self.hypersec
-        mbm = hypersec.mbm
-        if mbm is None:
-            return
-        bus = self.platform.bus
-        expected: dict = {}
-        seen_regions = set()
-        for ranges in hypersec._region_index.values():
-            for base, end, sid in ranges:
-                if (base, end, sid) in seen_regions:
-                    continue
-                seen_regions.add((base, end, sid))
-                for word_addr, mask in mbm.bitmap.words_for_range(
-                    base, end - base
-                ):
-                    expected[word_addr] = expected.get(word_addr, 0) | mask
-        bitmap_base, bitmap_limit = mbm.bitmap_storage
-        for word_addr in range(bitmap_base, bitmap_limit, WORD_BYTES):
-            actual = bus.peek(word_addr)
-            wanted = expected.get(word_addr, 0)
-            if actual != wanted:
-                report.add(
-                    "BITMAP_CONSISTENT", word_addr,
-                    f"bitmap word is {actual:#x}, regions imply {wanted:#x}",
-                )
-            if actual or wanted:
-                report.bitmap_words_checked += 1

@@ -90,4 +90,12 @@ class HypercallPgTableWriter(PgTableWriter):
     def on_table_free(self, table_paddr: int) -> None:
         self.stats.add("table_frees")
         self.stats.add("hypercalls")
-        self.cpu.hvc(HVC_PGTABLE_FREE, table_paddr)
+        result = self.cpu.hvc(HVC_PGTABLE_FREE, table_paddr)
+        if result == HVC_DENIED:
+            # Letting the frame go back to the allocator while Hypersec
+            # still tracks (and write-protects) it would silently desync
+            # the two views of the table set.
+            raise SecurityViolation(
+                f"Hypersec denied table free at {table_paddr:#x}",
+                policy="pgtable",
+            )

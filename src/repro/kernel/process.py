@@ -264,6 +264,12 @@ class ProcessManager:
         """exit(): tear down the task and its resources."""
         kernel = self.kernel
         kernel.cpu.compute(kernel.op_costs.exit_base)
+        if task is self.current:
+            # Park user translation before the root table is freed, so
+            # TTBR0 never dangles into a retired page (and Hypersec can
+            # let the pgd go).
+            kernel.cpu.msr("TTBR0_EL1", 0)
+            kernel.cpu.mmu.asid = 0
         kernel.vmm.destroy_mm(task.mm)
         # put_cred: drop the refcount and free.
         kernel.write_field(task.cred_pa, CRED, "usage", 0)

@@ -155,6 +155,12 @@ class UserVmm:
             self._unmap_page(mm, vaddr)
         for path in sorted(mm.tables, key=len, reverse=True):
             table = mm.tables.pop(path)
+            # Unlink from the parent before retiring the page: Hypersec
+            # refuses to release a table a live tree still references.
+            parent = mm.tables[path[:-1]] if len(path) > 1 else mm.pgd
+            kernel.pgwriter.write_desc(
+                parent + path[-1] * 8, invalid_desc(), level=len(path)
+            )
             kernel.pgwriter.on_table_free(table)
             kernel.allocator.free(table)
         kernel.pgwriter.on_table_free(mm.pgd)

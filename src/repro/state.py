@@ -97,6 +97,19 @@ class Snapshot:
         costs = CostModel(**document.pop("costs"))
         return PlatformConfig(costs=costs, **document)
 
+    def section(self, name: str) -> Any:
+        """One decoded section's state dict.
+
+        Raises :exc:`~repro.errors.SnapshotError` when the snapshot does
+        not carry the section (e.g. asking a native image for
+        ``hypersec``), so offline analysers get a typed error instead of
+        a bare ``KeyError``.
+        """
+        try:
+            return self.sections[name]
+        except KeyError:
+            raise SnapshotError(f"snapshot has no {name!r} section") from None
+
     def kernel_config(self) -> KernelConfig:
         document = self.manifest["recipe"]["kernel_config"]
         return KernelConfig(

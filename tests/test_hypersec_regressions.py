@@ -1,0 +1,492 @@
+"""Regression tests for policy holes flushed out by the hypercall fuzzer.
+
+Every test here fails on the pre-fix Hypersec/auditor code (ISSUE 10):
+
+* **block-span unmap** — ``_check_unmap`` only inspected the first 4 KiB
+  of the old mapping regardless of descriptor level, so invalidating a
+  2 MB linear-map section that covers a monitored region beyond its
+  first page sailed through;
+* **old table-pointer blind spots** — the ``_check_leaf`` precedence
+  chain skipped every old-descriptor check when the *old* descriptor
+  was a table pointer (or the *new* one was), so monitored mappings
+  could be redirected by installing a table over a block, a block over
+  a table, or by simply zapping the table pointer;
+* **free-while-referenced** — ``pgtable_free`` happily released a table
+  page still reachable from a live tree (including the kernel root
+  itself), flipping its linear mapping back to writable and re-opening
+  the direct descriptor-write path Hypersec exists to close;
+* **register-region bounds** — monitored regions outside the MBM bitmap
+  coverage produced out-of-range bitmap stores into secure memory;
+* **hostile hypercall arguments** — unbacked physical addresses or a
+  wrong argument count crashed EL2 (``MemoryRangeError``/``TypeError``)
+  instead of returning ``HVC_DENIED``;
+* **auditor walk hardening** — a poisoned table pointer aimed off the
+  end of RAM blew up the invariant auditor instead of being reported;
+* **region lifecycle** — unregistering a never-registered range (or
+  double-registering then unregistering one copy) cleared live bitmap
+  bits and shared page refcounts: an accepted hypercall that left the
+  audit dirty.
+"""
+
+import pytest
+
+from repro.config import PAGE_BYTES, PAGE_WORDS, SECTION_BYTES
+from repro.core import hypercalls as hc
+from repro.core.hypernel import build_hypernel
+from repro.kernel.kernel import KernelConfig
+from repro.arch.pagetable import (
+    KERNEL_VA_BASE,
+    index_for_level,
+    make_block_desc,
+    make_table_desc,
+)
+from repro.security import CredIntegrityMonitor, DentryIntegrityMonitor
+from repro.utils.bitops import align_down
+
+from tests.conftest import small_platform_config
+
+
+@pytest.fixture
+def section_system():
+    """Monitored Hypernel with the vanilla 2 MB-section linear map."""
+    system = build_hypernel(
+        platform_config=small_platform_config(),
+        kernel_config=KernelConfig(linear_map_mode="section"),
+        monitors=[CredIntegrityMonitor(), DentryIntegrityMonitor()],
+    )
+    system.spawn_init()
+    return system
+
+
+@pytest.fixture
+def page_system():
+    """Monitored Hypernel with the 4 KB page-mode linear map."""
+    system = build_hypernel(
+        platform_config=small_platform_config(),
+        kernel_config=KernelConfig(linear_map_mode="page"),
+        monitors=[CredIntegrityMonitor(), DentryIntegrityMonitor()],
+    )
+    system.spawn_init()
+    return system
+
+
+def _monitored_off_section_page(system):
+    """A monitored page that is not the first page of its 2 MB section
+    (the pre-fix ``_check_unmap`` only ever looked at the first page)."""
+    for page in sorted(system.hypersec._monitored_page_refs):
+        if page != align_down(page, SECTION_BYTES):
+            return page
+    pytest.skip("no monitored page beyond a section base in this layout")
+
+
+def _kernel_l2_slot(system, paddr):
+    """Walk the live kernel tree for the L2 slot covering ``paddr``'s
+    linear mapping (page mode: the slot holds an L3 table pointer)."""
+    bus = system.platform.bus
+    root = system.hypersec.kernel_root & ~(PAGE_BYTES - 1)
+    offset = system.kernel.linear_map.kva(paddr) - KERNEL_VA_BASE
+    l1_raw = bus.peek(root + index_for_level(offset, 1) * 8)
+    l2_table = l1_raw & ~(PAGE_BYTES - 1) & ((1 << 48) - 1)
+    return l2_table + index_for_level(offset, 2) * 8
+
+
+def _registered_empty_table(system):
+    """Allocate, zero and register a fresh table page via the hypercall."""
+    frame = system.kernel.allocator.alloc("attacker")
+    system.platform.memory.fill(frame, PAGE_WORDS, 0)
+    assert system.kernel.cpu.hvc(hc.HVC_PGTABLE_ALLOC, frame, 0) == hc.HVC_OK
+    return frame
+
+
+class TestBlockSpanUnmap:
+    def test_unmap_of_section_covering_monitored_page_denied(
+        self, section_system
+    ):
+        """Bug A: invalidating a 2 MB block must honour the whole span."""
+        system = section_system
+        page = _monitored_off_section_page(system)
+        desc_addr, level = system.kernel.linear_map.leaf_desc_addr(page)
+        assert level == 2  # a real 2 MB section leaf
+        before = system.platform.bus.peek(desc_addr)
+        result = system.kernel.cpu.hvc(
+            hc.HVC_PGTABLE_WRITE, desc_addr, 0, level
+        )
+        assert result == hc.HVC_DENIED
+        assert system.platform.bus.peek(desc_addr) == before
+        assert system.hypersec.stats.snapshot().get(
+            "alert.monitored_unmap", 0
+        ) > 0
+
+    def test_unmap_of_unmonitored_page_leaf_still_allowed(self, page_system):
+        """The fix must not overblock: a page-mode leaf for a plain
+        kernel page (not monitored, not a linear redirect) unmaps fine
+        from a process tree."""
+        system = page_system
+        kernel = system.kernel
+        mm = kernel.procs.current.mm
+        l3 = next(pa for path, pa in mm.tables.items() if len(path) == 2)
+        # A slot we know holds a user leaf: take any valid one.
+        for index in range(512):
+            raw = system.platform.bus.peek(l3 + index * 8)
+            if raw & 1:
+                result = kernel.cpu.hvc(
+                    hc.HVC_PGTABLE_WRITE, l3 + index * 8, 0, 3
+                )
+                assert result == hc.HVC_OK
+                return
+        pytest.skip("no valid leaf in the first process L3 table")
+
+
+class TestOldTablePointerBlindSpots:
+    def test_table_install_over_monitored_section_denied(
+        self, section_system
+    ):
+        """Bug B1: replacing a monitored 2 MB block leaf with a pointer
+        to a (registered, empty) table silently unmaps the region."""
+        system = section_system
+        page = _monitored_off_section_page(system)
+        desc_addr, level = system.kernel.linear_map.leaf_desc_addr(page)
+        assert level == 2
+        rogue_table = _registered_empty_table(system)
+        result = system.kernel.cpu.hvc(
+            hc.HVC_PGTABLE_WRITE, desc_addr, make_table_desc(rogue_table),
+            level,
+        )
+        assert result == hc.HVC_DENIED
+
+    def test_block_install_over_kernel_table_pointer_denied(
+        self, page_system
+    ):
+        """Bug B2: overwriting the L2 table pointer that reaches a
+        monitored page with a block descriptor redirects the mapping."""
+        system = page_system
+        page = next(iter(sorted(system.hypersec._monitored_page_refs)))
+        l2_slot = _kernel_l2_slot(system, page)
+        target = align_down(
+            system.platform.secure_base - 2 * SECTION_BYTES, SECTION_BYTES
+        )
+        rogue = make_block_desc(target, writable=False, executable=False)
+        result = system.kernel.cpu.hvc(
+            hc.HVC_PGTABLE_WRITE, l2_slot, rogue, 2
+        )
+        assert result == hc.HVC_DENIED
+
+    def test_invalidate_kernel_table_pointer_denied(self, page_system):
+        """Bug B3: zapping the table pointer unmaps the whole subtree,
+        monitored pages included."""
+        system = page_system
+        page = next(iter(sorted(system.hypersec._monitored_page_refs)))
+        l2_slot = _kernel_l2_slot(system, page)
+        result = system.kernel.cpu.hvc(hc.HVC_PGTABLE_WRITE, l2_slot, 0, 2)
+        assert result == hc.HVC_DENIED
+
+    def test_attribute_only_rewrite_still_allowed(self, page_system):
+        """Parenthesization guard: rewriting a leaf with the same output
+        address (attribute-only change) must stay legal."""
+        system = page_system
+        kernel = system.kernel
+        mm = kernel.procs.current.mm
+        l3 = next(pa for path, pa in mm.tables.items() if len(path) == 2)
+        for index in range(512):
+            raw = system.platform.bus.peek(l3 + index * 8)
+            if raw & 1:
+                result = kernel.cpu.hvc(
+                    hc.HVC_PGTABLE_WRITE, l3 + index * 8, raw, 3
+                )
+                assert result == hc.HVC_OK
+                return
+        pytest.skip("no valid leaf in the first process L3 table")
+
+
+class TestFreeWhileReferenced:
+    def test_free_of_live_process_table_denied(self, section_system):
+        """Bug D: a table still referenced by a live tree cannot be
+        freed (its linear mapping would become writable again)."""
+        system = section_system
+        mm = system.kernel.procs.current.mm
+        l3 = next(pa for path, pa in mm.tables.items() if len(path) == 2)
+        result = system.kernel.cpu.hvc(hc.HVC_PGTABLE_FREE, l3)
+        assert result == hc.HVC_DENIED
+        assert l3 in system.hypersec.table_pages
+
+    def test_free_of_kernel_root_denied(self, section_system):
+        system = section_system
+        root = system.hypersec.kernel_root & ~(PAGE_BYTES - 1)
+        result = system.kernel.cpu.hvc(hc.HVC_PGTABLE_FREE, root)
+        assert result == hc.HVC_DENIED
+        assert root in system.hypersec.table_pages
+
+    def test_legitimate_teardown_still_works(self, section_system):
+        """fork/exec/exit must still tear down cleanly under the
+        stricter free policy (children are unlinked before freeing)."""
+        system = section_system
+        kernel = system.kernel
+        init = kernel.procs.current
+        tables_before = set(system.hypersec.table_pages)
+        child = kernel.sys.fork(init)
+        kernel.procs.context_switch(child)
+        kernel.sys.execv(child)
+        kernel.sys.exit(child)
+        kernel.procs.context_switch(init)
+        kernel.sys.wait(init)
+        assert system.hypersec.table_pages == tables_before
+        report = system.hypersec.audit()
+        assert report.clean, str(report)
+
+    def test_free_of_populated_table_denied(self, section_system):
+        """Bug D (fuzzer find): freeing a table that still holds live
+        descriptors leaked its children's refcounts and left the linked
+        subtree registered but unreachable forever."""
+        system = section_system
+        bus = system.platform.bus
+        # Build under the process root: the boot linear tables are
+        # write-once for valid slots (the linear-remap guard also
+        # covers unmaps), but process trees allow teardown.
+        pgd = system.kernel.procs.current.mm.pgd
+        slot = next(
+            pgd + index * 8 for index in range(PAGE_WORDS)
+            if bus.peek(pgd + index * 8) == 0
+        )
+        outer = _registered_empty_table(system)
+        inner = _registered_empty_table(system)
+        hvc = system.kernel.cpu.hvc
+        assert hvc(hc.HVC_PGTABLE_WRITE, slot,
+                   make_table_desc(outer), 1) == hc.HVC_OK
+        assert hvc(hc.HVC_PGTABLE_WRITE, outer + 7 * 8,
+                   make_table_desc(inner), 2) == hc.HVC_OK
+        # Unlink the pair from the root, leaving outer -> inner intact.
+        assert hvc(hc.HVC_PGTABLE_WRITE, slot, 0, 1) == hc.HVC_OK
+        # Pre-fix this free succeeded, stranding `inner` with a stale
+        # reference count nobody could ever drop.
+        assert hvc(hc.HVC_PGTABLE_FREE, outer) == hc.HVC_DENIED
+        assert outer in system.hypersec.table_pages
+        # Emptying the table first makes the same free legitimate.
+        assert hvc(hc.HVC_PGTABLE_WRITE, outer + 7 * 8, 0, 2) == hc.HVC_OK
+        assert hvc(hc.HVC_PGTABLE_FREE, outer) == hc.HVC_OK
+        assert hvc(hc.HVC_PGTABLE_FREE, inner) == hc.HVC_OK
+        report = system.hypersec.audit()
+        assert report.clean, str(report)
+
+
+class TestRegisterRegionBounds:
+    def test_register_outside_bitmap_coverage_denied(self, section_system):
+        """Bug E: a region beyond the MBM's covered range must be
+        refused, not written into out-of-range bitmap words."""
+        system = section_system
+        sid = system.monitors[0].sid
+        config = system.platform.config
+        rogue_kva = system.kernel.linear_map.kva(
+            config.dram_base + config.dram_bytes
+        )
+        result = system.kernel.cpu.hvc(
+            hc.HVC_REGISTER_REGION, sid, rogue_kva, 64
+        )
+        assert result == hc.HVC_DENIED
+        report = system.hypersec.audit()
+        assert report.clean, str(report)
+
+    def test_register_empty_range_denied(self, section_system):
+        system = section_system
+        sid = system.monitors[0].sid
+        kva = system.kernel.linear_map.kva(system.platform.config.dram_base)
+        assert system.kernel.cpu.hvc(
+            hc.HVC_REGISTER_REGION, sid, kva, 0
+        ) == hc.HVC_DENIED
+
+    def test_unregister_outside_coverage_denied(self, section_system):
+        system = section_system
+        sid = system.monitors[0].sid
+        config = system.platform.config
+        rogue_kva = system.kernel.linear_map.kva(
+            config.dram_base + config.dram_bytes + PAGE_BYTES
+        )
+        assert system.kernel.cpu.hvc(
+            hc.HVC_UNREGISTER_REGION, sid, rogue_kva, 64
+        ) == hc.HVC_DENIED
+
+
+class TestRegionLifecycleIntegrity:
+    """Bug G (fuzzer find): unregistering a range that was never
+    registered cleared live bitmap bits and dropped shared page
+    refcounts — an *accepted* hypercall that left the audit dirty."""
+
+    @staticmethod
+    def _live_region(system):
+        """A (base_pa, end_pa, sid) triple some monitor registered."""
+        for ranges in system.hypersec._region_index.values():
+            for triple in ranges:
+                return triple
+        pytest.skip("no registered regions in this layout")
+
+    def test_unregister_of_unknown_range_is_denied(self, page_system):
+        system = page_system
+        base_pa, end_pa, sid = self._live_region(system)
+        # A sub-range of a live region: never registered as a triple,
+        # but its bitmap bits belong to the real region.
+        rogue_kva = system.kernel.linear_map.kva(base_pa)
+        assert system.kernel.cpu.hvc(
+            hc.HVC_UNREGISTER_REGION, sid, rogue_kva, 8
+        ) == hc.HVC_DENIED
+        report = system.hypersec.audit()
+        assert report.clean, str(report)
+
+    def test_duplicate_registration_is_denied(self, page_system):
+        """Registering an identical triple twice would let a single
+        unregister clear bits the surviving copy still needs."""
+        system = page_system
+        base_pa, end_pa, sid = self._live_region(system)
+        kva = system.kernel.linear_map.kva(base_pa)
+        assert system.kernel.cpu.hvc(
+            hc.HVC_REGISTER_REGION, sid, kva, end_pa - base_pa
+        ) == hc.HVC_DENIED
+        report = system.hypersec.audit()
+        assert report.clean, str(report)
+
+    def test_unregister_preserves_bits_of_overlapping_region(
+        self, page_system
+    ):
+        """Bug I (fuzzer find): two distinct regions may claim the same
+        bitmap bits; unregistering one cleared the bits the survivor
+        still relies on — accepted hypercalls, dirty bitmap audit."""
+        system = page_system
+        sid = system.monitors[0].sid
+        page = system.kernel.allocator.alloc("overlap_test")
+        kva = system.kernel.linear_map.kva(page)
+        hvc = system.kernel.cpu.hvc
+        assert hvc(hc.HVC_REGISTER_REGION, sid, kva, 64) == hc.HVC_OK
+        assert hvc(hc.HVC_REGISTER_REGION, sid, kva + 8, 8) == hc.HVC_OK
+        assert hvc(hc.HVC_UNREGISTER_REGION, sid, kva, 64) == hc.HVC_OK
+        report = system.hypersec.audit()
+        assert report.clean, str(report)
+        assert hvc(hc.HVC_UNREGISTER_REGION, sid, kva + 8, 8) == hc.HVC_OK
+        report = system.hypersec.audit()
+        assert report.clean, str(report)
+
+    def test_unregister_near_monitored_page_keeps_section_uncached(
+        self, section_system
+    ):
+        """Bug H (fuzzer find): in section mode the cacheability leaf is
+        shared by the whole 2 MB block; unregistering a region restored
+        the block cacheable even while another page under it was still
+        monitored — the MBM silently went blind."""
+        system = section_system
+        h = system.hypersec
+        target = None
+        for monitored in sorted(h._monitored_page_refs):
+            section = align_down(monitored, SECTION_BYTES)
+            for cand in range(section, section + SECTION_BYTES, PAGE_BYTES):
+                if (cand not in h._monitored_page_refs
+                        and system.mbm.bitmap.covers(cand)
+                        and system.mbm.bitmap.covers(cand + PAGE_BYTES - 1)):
+                    target = cand
+                    break
+            if target is not None:
+                break
+        assert target is not None, "no unmonitored page shares a section"
+        sid = system.monitors[0].sid
+        kva = system.kernel.linear_map.kva(target)
+        hvc = system.kernel.cpu.hvc
+        assert hvc(hc.HVC_REGISTER_REGION, sid, kva, 64) == hc.HVC_OK
+        assert hvc(hc.HVC_UNREGISTER_REGION, sid, kva, 64) == hc.HVC_OK
+        report = system.hypersec.audit()
+        assert report.clean, str(report)
+
+    def test_unregister_then_reregister_cycle_stays_clean(self, page_system):
+        """The legitimate lifecycle (exact-triple unregister, then a
+        fresh registration) must survive the new guards."""
+        system = page_system
+        base_pa, end_pa, sid = self._live_region(system)
+        kva = system.kernel.linear_map.kva(base_pa)
+        size = end_pa - base_pa
+        assert system.kernel.cpu.hvc(
+            hc.HVC_UNREGISTER_REGION, sid, kva, size
+        ) == hc.HVC_OK
+        assert system.kernel.cpu.hvc(
+            hc.HVC_REGISTER_REGION, sid, kva, size
+        ) == hc.HVC_OK
+        report = system.hypersec.audit()
+        assert report.clean, str(report)
+
+
+class TestHostileHypercallArguments:
+    """Bug F: malformed arguments must be denied, never crash EL2."""
+
+    def test_emulate_write_to_unbacked_address_denied(self, section_system):
+        system = section_system
+        config = system.platform.config
+        off_ram = config.dram_base + config.dram_bytes + 64
+        result = system.kernel.cpu.hvc(hc.HVC_EMULATE_WRITE, off_ram, 1)
+        assert result == hc.HVC_DENIED
+
+    def test_emulate_write_block_past_ram_denied(self, section_system):
+        system = section_system
+        config = system.platform.config
+        off_ram = config.dram_base + config.dram_bytes
+        result = system.kernel.cpu.hvc(
+            hc.HVC_EMULATE_WRITE_BLOCK, off_ram, 4 * PAGE_WORDS
+        )
+        assert result == hc.HVC_DENIED
+
+    def test_emulate_write_block_nonpositive_count_denied(
+        self, section_system
+    ):
+        system = section_system
+        base = system.platform.config.dram_base
+        assert system.kernel.cpu.hvc(
+            hc.HVC_EMULATE_WRITE_BLOCK, base, 0
+        ) == hc.HVC_DENIED
+
+    def test_alloc_of_unbacked_page_denied(self, section_system):
+        system = section_system
+        config = system.platform.config
+        off_ram = config.dram_base + config.dram_bytes + PAGE_BYTES
+        result = system.kernel.cpu.hvc(hc.HVC_PGTABLE_ALLOC, off_ram, 0)
+        assert result == hc.HVC_DENIED
+
+    def test_misaligned_descriptor_address_denied(self, section_system):
+        system = section_system
+        table = next(iter(sorted(system.hypersec.table_pages)))
+        result = system.kernel.cpu.hvc(hc.HVC_PGTABLE_WRITE, table + 3, 0, 3)
+        assert result == hc.HVC_DENIED
+
+    def test_wrong_arity_denied(self, section_system):
+        system = section_system
+        assert system.kernel.cpu.hvc(
+            hc.HVC_PGTABLE_WRITE, 0x1000
+        ) == hc.HVC_DENIED
+        assert system.kernel.cpu.hvc(hc.HVC_PGTABLE_FREE) == hc.HVC_DENIED
+        assert system.kernel.cpu.hvc(
+            hc.HVC_REGISTER_REGION, 1, 2, 3, 4
+        ) == hc.HVC_DENIED
+
+
+class TestAuditorWalkHardening:
+    def test_table_pointer_off_ram_is_a_finding_not_a_crash(
+        self, section_system
+    ):
+        """Bug C: a poisoned table pointer past the end of RAM must
+        yield a TABLE_TOPOLOGY finding and a truncated-walk count."""
+        system = section_system
+        config = system.platform.config
+        root = system.hypersec.kernel_root & ~(PAGE_BYTES - 1)
+        off_ram = config.dram_base + config.dram_bytes + PAGE_BYTES
+        system.platform.bus.poke(root + 450 * 8, make_table_desc(off_ram))
+        report = system.hypersec.audit()
+        assert any(f.invariant == "TABLE_TOPOLOGY" for f in report.findings)
+        assert report.truncated_walks >= 1
+
+    def test_table_pointer_into_secure_region_is_a_finding(
+        self, section_system
+    ):
+        system = section_system
+        root = system.hypersec.kernel_root & ~(PAGE_BYTES - 1)
+        system.platform.bus.poke(
+            root + 451 * 8, make_table_desc(system.platform.secure_base)
+        )
+        report = system.hypersec.audit()
+        assert any(
+            f.invariant == "TABLE_TOPOLOGY"
+            and "secure" in f.detail
+            for f in report.findings
+        )
+        assert report.truncated_walks >= 1
